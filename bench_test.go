@@ -1,0 +1,206 @@
+package strippack
+
+// Benchmark harness: one benchmark per experiment table (E1..E10 in
+// DESIGN.md / EXPERIMENTS.md) plus micro-benchmarks of the substrates. Run
+//
+//	go test -bench=. -benchmem
+//
+// The experiment benchmarks wrap the same drivers cmd/experiments uses, so
+// their timings measure exactly the code that regenerates the tables.
+
+import (
+	"io"
+	"math/rand"
+	"testing"
+
+	"strippack/internal/binpack"
+	"strippack/internal/core/precedence"
+	"strippack/internal/core/release"
+	"strippack/internal/dag"
+	"strippack/internal/exact"
+	"strippack/internal/experiments"
+	"strippack/internal/lp"
+	"strippack/internal/packing"
+	"strippack/internal/workload"
+)
+
+func benchExperiment(b *testing.B, id string) {
+	e, ok := experiments.Lookup(id)
+	if !ok {
+		b.Fatalf("experiment %s missing", id)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if err := e.Run(io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkE1DC(b *testing.B)       { benchExperiment(b, "E1") }
+func BenchmarkE2Fig1(b *testing.B)     { benchExperiment(b, "E2") }
+func BenchmarkE3NextFit(b *testing.B)  { benchExperiment(b, "E3") }
+func BenchmarkE4Fig2(b *testing.B)     { benchExperiment(b, "E4") }
+func BenchmarkE5PrecBin(b *testing.B)  { benchExperiment(b, "E5") }
+func BenchmarkE6APTAS(b *testing.B)    { benchExperiment(b, "E6") }
+func BenchmarkE7LPScale(b *testing.B)  { benchExperiment(b, "E7") }
+func BenchmarkE8Rounding(b *testing.B) { benchExperiment(b, "E8") }
+func BenchmarkE9Ablation(b *testing.B) { benchExperiment(b, "E9") }
+func BenchmarkE10Grouping(b *testing.B) {
+	benchExperiment(b, "E10")
+}
+func BenchmarkE11KR(b *testing.B)     { benchExperiment(b, "E11") }
+func BenchmarkE12Online(b *testing.B) { benchExperiment(b, "E12") }
+
+// --- micro-benchmarks of the substrates ---
+
+func BenchmarkDC1000(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	in := workload.DAGWorkload(rng, 1000, 16, 0.2)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := precedence.DC(in, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkNFDH1000(b *testing.B) {
+	rng := rand.New(rand.NewSource(2))
+	in := workload.Uniform(rng, 1000, 0.05, 0.8, 0.05, 1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := packing.NFDH(1, in.Rects); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkBottomLeft1000(b *testing.B) {
+	rng := rand.New(rand.NewSource(3))
+	in := workload.Uniform(rng, 1000, 0.05, 0.5, 0.05, 1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := packing.BLDH(1, in.Rects); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkValidate1000(b *testing.B) {
+	rng := rand.New(rand.NewSource(4))
+	in := workload.Uniform(rng, 1000, 0.05, 0.5, 0.05, 1)
+	p, err := PackNFDH(in)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := p.Validate(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPrecNextFit500(b *testing.B) {
+	rng := rand.New(rand.NewSource(5))
+	n := 500
+	sizes := make([]float64, n)
+	for i := range sizes {
+		sizes[i] = 0.05 + 0.9*rng.Float64()
+	}
+	g := dag.RandomLayered(rng, n, 20, 0.1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := binpack.PrecNextFit(sizes, g); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSimplexConfigLP(b *testing.B) {
+	rng := rand.New(rand.NewSource(6))
+	in := workload.FPGA(rng, 30, 4, 3)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m, err := release.BuildModel(in, 0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := release.SolveModel(m, false); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSimplexDense(b *testing.B) {
+	rng := rand.New(rand.NewSource(7))
+	n, m := 60, 30
+	p := lp.NewProblem(n)
+	for j := 0; j < n; j++ {
+		p.Objective[j] = rng.Float64()
+	}
+	for i := 0; i < m; i++ {
+		row := make([]float64, n)
+		for j := range row {
+			row[j] = rng.Float64()
+		}
+		if err := p.AddConstraint(row, lp.GE, 1+rng.Float64()); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s, err := lp.Solve(p)
+		if err != nil || s.Status != lp.Optimal {
+			b.Fatalf("err=%v status=%v", err, s.Status)
+		}
+	}
+}
+
+func BenchmarkExactN6(b *testing.B) {
+	rng := rand.New(rand.NewSource(8))
+	rects := make([]Rect, 6)
+	for i := range rects {
+		rects[i] = Rect{W: 0.2 + 0.4*rng.Float64(), H: 0.2 + 0.6*rng.Float64()}
+	}
+	in := New(1, rects)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := exact.Solve(in, exact.Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAPTASEndToEnd(b *testing.B) {
+	rng := rand.New(rand.NewSource(9))
+	in := workload.FPGA(rng, 20, 3, 2)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := release.Pack(in, release.Options{Epsilon: 1.5, K: 3}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFValues4096(b *testing.B) {
+	rng := rand.New(rand.NewSource(10))
+	in := workload.DAGWorkload(rng, 4096, 32, 0.1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := precedence.FValues(in); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

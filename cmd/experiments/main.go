@@ -1,0 +1,50 @@
+// Command experiments regenerates every table of EXPERIMENTS.md (the
+// measurable counterparts of the paper's theorems, lemma constructions and
+// figures — see DESIGN.md for the index).
+//
+// Usage:
+//
+//	experiments            # run all of E1..E10
+//	experiments E2 E4      # run a subset
+//	experiments -list      # list experiments
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"strippack/internal/experiments"
+)
+
+func main() {
+	list := flag.Bool("list", false, "list experiment IDs and titles")
+	flag.Parse()
+	if *list {
+		for _, e := range experiments.All() {
+			fmt.Printf("%-4s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+	ids := flag.Args()
+	if len(ids) == 0 {
+		if err := experiments.RunAll(os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	for _, id := range ids {
+		e, ok := experiments.Lookup(id)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "experiments: unknown id %q (use -list)\n", id)
+			os.Exit(2)
+		}
+		fmt.Printf("== %s: %s ==\n", e.ID, e.Title)
+		if err := e.Run(os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
+		fmt.Println()
+	}
+}

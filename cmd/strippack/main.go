@@ -1,0 +1,143 @@
+// Command strippack reads a problem instance as JSON, runs a chosen
+// algorithm, and writes the packing as JSON together with a short summary on
+// stderr.
+//
+// Usage:
+//
+//	strippack -algo dc        < instance.json > packing.json
+//	strippack -algo uniform   < instance.json
+//	strippack -algo aptas -eps 1 -k 4
+//	strippack -algo nfdh|ffdh|bldh|sleator|greedy|exact
+//
+// The instance format (see internal/geom):
+//
+//	{"width": 1, "rects": [{"w":0.5,"h":1,"release":0,"name":"t0"}, ...],
+//	 "prec": [[0,1], ...]}
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"strippack"
+	"strippack/internal/geom"
+)
+
+func main() {
+	algo := flag.String("algo", "dc", "algorithm: dc, uniform, uniform-ff, aptas, kr, greedy, online, nfdh, ffdh, bldh, sleator, exact")
+	eps := flag.Float64("eps", 1.0, "APTAS / KR accuracy parameter")
+	k := flag.Int("k", 4, "column count K (aptas widths must be >= width/K; online device size)")
+	check := flag.Bool("check", true, "validate the packing before writing it")
+	vizGrid := flag.String("viz", "", "render the packing to stderr: 'ascii' or 'svg'")
+	flag.Parse()
+
+	in, err := geom.ReadInstance(os.Stdin)
+	if err != nil {
+		fatal(err)
+	}
+
+	var p *strippack.Packing
+	switch *algo {
+	case "dc":
+		res, err := strippack.PackDC(in)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "dc: height=%.4f lower-bound=%.4f guarantee=%.4f calls=%d\n",
+			res.Height, res.LowerBound, res.Guarantee, res.Calls)
+		p = res.Packing
+	case "uniform":
+		res, err := strippack.PackUniformNextFit(in)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "uniform next-fit: height=%.4f shelves=%d skips=%d\n",
+			res.Height, res.Shelves, res.Skips)
+		p = res.Packing
+	case "uniform-ff":
+		res, err := strippack.PackUniformFirstFit(in)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "uniform first-fit: height=%.4f shelves=%d\n", res.Height, res.Shelves)
+		p = res.Packing
+	case "aptas":
+		res, err := strippack.PackReleaseAPTAS(in, *eps, *k)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "aptas: height=%.4f fractional=%.4f additive<=%.0f (R=%d W=%d)\n",
+			res.Height, res.FractionalHeight, res.AdditiveBound, res.R, res.W)
+		p = res.Packing
+	case "kr":
+		res, err := strippack.PackKR(in, *eps)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "kr: height=%.4f fractional=%.4f wide=%d narrow=%d\n",
+			res.Height, res.FractionalHeight, res.Wide, res.Narrow)
+		p = res.Packing
+	case "greedy":
+		var err error
+		p, err = strippack.PackReleaseGreedy(in)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "greedy skyline: height=%.4f\n", p.Height())
+	case "online":
+		var err error
+		p, err = strippack.ScheduleOnline(in, *k)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "online (%d columns): height=%.4f\n", *k, p.Height())
+	case "nfdh", "ffdh", "bldh", "sleator":
+		f := map[string]func(*strippack.Instance) (*strippack.Packing, error){
+			"nfdh": strippack.PackNFDH, "ffdh": strippack.PackFFDH,
+			"bldh": strippack.PackBottomLeft, "sleator": strippack.PackSleator,
+		}[*algo]
+		var err error
+		p, err = f(in)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "%s: height=%.4f\n", *algo, p.Height())
+	case "exact":
+		res, err := strippack.SolveExact(in)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "exact: height=%.4f proven=%v\n", res.Height, res.Proven)
+		p = res.Packing
+	default:
+		fatal(fmt.Errorf("unknown algorithm %q", *algo))
+	}
+
+	if *check {
+		if err := p.Validate(); err != nil {
+			fatal(fmt.Errorf("produced packing failed validation: %w", err))
+		}
+	}
+	switch *vizGrid {
+	case "":
+	case "ascii":
+		if err := strippack.RenderASCII(os.Stderr, p, 60, 24); err != nil {
+			fatal(err)
+		}
+	case "svg":
+		if err := strippack.RenderSVG(os.Stderr, p, 480); err != nil {
+			fatal(err)
+		}
+	default:
+		fatal(fmt.Errorf("unknown -viz mode %q", *vizGrid))
+	}
+	if err := geom.WritePacking(os.Stdout, p); err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "strippack:", err)
+	os.Exit(1)
+}

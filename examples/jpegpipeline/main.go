@@ -1,0 +1,52 @@
+// JPEG pipeline on a reconfigurable FPGA: the image-processing workload the
+// paper's introduction motivates. Macroblock stages (colorspace -> DCT ->
+// quantize -> zigzag) with a shared header and entropy coder are scheduled
+// on a K-column device with the DC algorithm, then replayed on the
+// discrete-event simulator.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"strippack"
+	"strippack/internal/workload"
+)
+
+func main() {
+	const K = 8      // device columns
+	const blocks = 6 // parallel macroblock groups
+
+	rng := rand.New(rand.NewSource(42))
+	in := workload.JPEG(rng, blocks, K)
+	fmt.Printf("JPEG pipeline: %d tasks, %d precedence edges, %d-column device\n",
+		in.N(), len(in.Prec), K)
+
+	res, err := strippack.PackDC(in)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("DC schedule height (makespan): %.3f\n", res.Height)
+	fmt.Printf("lower bound:                   %.3f\n", res.LowerBound)
+	fmt.Printf("approximation guarantee:       %.3f\n\n", res.Guarantee)
+
+	// Replay on the device.
+	st, err := strippack.SimulateOnFPGA(res.Packing, K)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("simulated makespan:   %.3f\n", st.Makespan)
+	fmt.Printf("column utilization:   %.1f%%\n", 100*st.Utilization)
+	fmt.Printf("reconfigurations:     %d\n\n", st.Reconfigurations)
+
+	// Compare against a naive topological shelf baseline: NFDH ignores
+	// precedence and is infeasible here, so the fair baseline is uniform
+	// one-task-per-level scheduling; DC exploits width sharing instead.
+	var serial float64
+	for _, r := range in.Rects {
+		serial += r.H
+	}
+	fmt.Printf("serial (one task at a time):  %.3f\n", serial)
+	fmt.Printf("DC speedup over serial:       %.2fx\n", serial/res.Height)
+}

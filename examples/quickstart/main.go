@@ -1,0 +1,44 @@
+// Quickstart: build a small precedence-constrained instance, pack it with
+// the paper's DC algorithm, validate the packing, and print the layout.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"strippack"
+)
+
+func main() {
+	// Five tasks on a normalized-width strip. Heights are durations.
+	in := strippack.New(1, []strippack.Rect{
+		{Name: "load", W: 0.6, H: 1.0},
+		{Name: "filterA", W: 0.5, H: 2.0},
+		{Name: "filterB", W: 0.5, H: 1.5},
+		{Name: "merge", W: 0.8, H: 1.0},
+		{Name: "store", W: 0.4, H: 0.5},
+	})
+	// load -> {filterA, filterB} -> merge -> store
+	in.AddEdge(0, 1)
+	in.AddEdge(0, 2)
+	in.AddEdge(1, 3)
+	in.AddEdge(2, 3)
+	in.AddEdge(3, 4)
+
+	res, err := strippack.PackDC(in)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := res.Packing.Validate(); err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("height     : %.3f\n", res.Height)
+	fmt.Printf("lower bound: %.3f (max of critical path F and total area)\n", res.LowerBound)
+	fmt.Printf("guarantee  : %.3f (log2(n+1)*F + 2*AREA, Theorem 2.3)\n\n", res.Guarantee)
+	for i, r := range in.Rects {
+		pos := res.Packing.Pos[i]
+		fmt.Printf("%-8s x=[%.2f,%.2f) time=[%.2f,%.2f)\n",
+			r.Name, pos.X, pos.X+r.W, pos.Y, pos.Y+r.H)
+	}
+}

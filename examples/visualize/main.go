@@ -1,0 +1,54 @@
+// Visualize: packs the same workload with four algorithms and renders each
+// packing as ASCII art side by side, plus an SVG written to packing.svg.
+// Demonstrates the rendering API and makes algorithm differences visible.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+	"os"
+
+	"strippack"
+	"strippack/internal/workload"
+)
+
+func main() {
+	rng := rand.New(rand.NewSource(11))
+	in := workload.Uniform(rng, 14, 0.1, 0.55, 0.1, 0.8)
+
+	algos := []struct {
+		name string
+		run  func(*strippack.Instance) (*strippack.Packing, error)
+	}{
+		{"NFDH", strippack.PackNFDH},
+		{"FFDH", strippack.PackFFDH},
+		{"BottomLeft", strippack.PackBottomLeft},
+		{"Sleator", strippack.PackSleator},
+	}
+	var best *strippack.Packing
+	for _, a := range algos {
+		p, err := a.run(in)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("--- %s (height %.3f) ---\n", a.name, p.Height())
+		if err := strippack.RenderASCII(os.Stdout, p, 48, 14); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println()
+		if best == nil || p.Height() < best.Height() {
+			best = p
+		}
+	}
+
+	f, err := os.Create("packing.svg")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer f.Close()
+	if err := strippack.RenderSVG(f, best, 480); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("best packing (height %.3f) written to packing.svg\n", best.Height())
+}

@@ -1,0 +1,122 @@
+package strippack
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"strippack/internal/workload"
+)
+
+func TestPackKRFacade(t *testing.T) {
+	rng := rand.New(rand.NewSource(81))
+	in := workload.Uniform(rng, 30, 0.1, 0.7, 0.1, 1)
+	res, err := PackKR(in, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.Packing.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if res.Wide+res.Narrow != 30 {
+		t.Fatalf("split wrong: %+v", res)
+	}
+	if res.Height < in.AreaLowerBound()-1e-9 {
+		t.Fatal("below area bound")
+	}
+}
+
+func TestPackKRRejectsConstraints(t *testing.T) {
+	in := New(1, []Rect{{W: 0.5, H: 1}, {W: 0.5, H: 1}})
+	in.AddEdge(0, 1)
+	if _, err := PackKR(in, 1); err == nil {
+		t.Fatal("precedence accepted by KR facade")
+	}
+}
+
+func TestScheduleOnlineFacade(t *testing.T) {
+	rng := rand.New(rand.NewSource(83))
+	in := workload.FPGA(rng, 15, 4, 2)
+	p, err := ScheduleOnline(in, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// The online schedule must also replay cleanly on the simulator.
+	st, err := SimulateOnFPGA(p, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Reconfigurations != in.N() {
+		t.Fatalf("reconfigs = %d", st.Reconfigurations)
+	}
+}
+
+func TestRenderFacades(t *testing.T) {
+	in := New(1, []Rect{{Name: "a", W: 0.5, H: 1}, {Name: "b", W: 0.5, H: 1}})
+	p, err := PackNFDH(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ascii, svg bytes.Buffer
+	if err := RenderASCII(&ascii, p, 20, 6); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(ascii.String(), "height=") {
+		t.Fatal("ascii output malformed")
+	}
+	if err := RenderSVG(&svg, p, 200); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(svg.String(), "<svg") {
+		t.Fatal("svg output malformed")
+	}
+}
+
+// TestCrossAlgorithmConsistency packs the same release-free instance with
+// every offline facade entry point and checks all validate and respect the
+// shared area bound.
+func TestCrossAlgorithmConsistency(t *testing.T) {
+	rng := rand.New(rand.NewSource(87))
+	in := workload.Uniform(rng, 20, 0.1, 0.6, 0.1, 1)
+	lb := in.AreaLowerBound()
+	heights := map[string]float64{}
+	run := func(name string, f func() (*Packing, error)) {
+		p, err := f()
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if err := p.Validate(); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if p.Height() < lb-1e-9 {
+			t.Fatalf("%s beat the area bound", name)
+		}
+		heights[name] = p.Height()
+	}
+	run("nfdh", func() (*Packing, error) { return PackNFDH(in) })
+	run("ffdh", func() (*Packing, error) { return PackFFDH(in) })
+	run("bldh", func() (*Packing, error) { return PackBottomLeft(in) })
+	run("sleator", func() (*Packing, error) { return PackSleator(in) })
+	run("kr", func() (*Packing, error) {
+		r, err := PackKR(in, 1)
+		if err != nil {
+			return nil, err
+		}
+		return r.Packing, nil
+	})
+	run("dc", func() (*Packing, error) {
+		r, err := PackDC(in) // no edges: DC still applies
+		if err != nil {
+			return nil, err
+		}
+		return r.Packing, nil
+	})
+	// FFDH never exceeds NFDH.
+	if heights["ffdh"] > heights["nfdh"]+1e-9 {
+		t.Fatalf("ffdh %g > nfdh %g", heights["ffdh"], heights["nfdh"])
+	}
+}

@@ -1,0 +1,232 @@
+package binpack
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"strippack/internal/lp"
+)
+
+// APTASReport describes a run of the bin packing APTAS.
+type APTASReport struct {
+	Epsilon       float64
+	Large, Small  int
+	Groups        int     // linear-grouping groups actually used
+	DistinctSizes int     // rounded sizes
+	Configs       int     // enumerated configurations
+	LPBins        float64 // fractional bin count of the configuration LP
+	Bins          int     // final bin count
+}
+
+// APTAS is a de la Vega–Lueker-style asymptotic PTAS for 1-D bin packing,
+// the foundational technique ([8] in the paper) that Section 3's
+// configuration LP generalizes. Items larger than eps are linear-grouped
+// into ~1/eps^2 size classes (rounding sizes up within each group), the
+// classic configuration LP min Σ x_q s.t. A·x >= n is solved, each basic
+// variable is rounded up (adding at most one bin per nonzero), and items of
+// size <= eps are First-Fit filled into the residual capacity.
+//
+// Guarantee: bins <= (1+O(eps))·OPT + O(1/eps^2).
+func APTAS(sizes []float64, eps float64) (*Assignment, *APTASReport, error) {
+	if err := checkSizes(sizes); err != nil {
+		return nil, nil, err
+	}
+	if eps <= 0 || eps >= 1 {
+		return nil, nil, fmt.Errorf("binpack: eps must be in (0,1), got %g", eps)
+	}
+	rep := &APTASReport{Epsilon: eps}
+	a := &Assignment{Bin: make([]int, len(sizes))}
+	for i := range a.Bin {
+		a.Bin[i] = -1
+	}
+	var large, small []int
+	for i, s := range sizes {
+		if s > eps {
+			large = append(large, i)
+		} else {
+			small = append(small, i)
+		}
+	}
+	rep.Large, rep.Small = len(large), len(small)
+
+	var loads []float64
+	if len(large) > 0 {
+		// Linear grouping: sort large descending, cut into g groups of
+		// (nearly) equal cardinality, round each size up to its group max.
+		sort.SliceStable(large, func(x, y int) bool { return sizes[large[x]] > sizes[large[y]] })
+		g := int(math.Ceil(1 / (eps * eps)))
+		if g > len(large) {
+			g = len(large)
+		}
+		rep.Groups = g
+		rounded := make([]float64, len(large)) // rounded size per large item
+		groupOf := make([]int, len(large))
+		for j := 0; j < g; j++ {
+			lo := j * len(large) / g
+			hi := (j + 1) * len(large) / g
+			if lo >= hi {
+				continue
+			}
+			max := sizes[large[lo]] // descending order: first is largest
+			for k := lo; k < hi; k++ {
+				rounded[k] = max
+				groupOf[k] = j
+			}
+		}
+		_ = groupOf
+		// Distinct rounded sizes, descending, with per-size demand counts.
+		type class struct {
+			size  float64
+			count int
+		}
+		var classes []class
+		for k := range large {
+			if len(classes) > 0 && math.Abs(classes[len(classes)-1].size-rounded[k]) <= Eps {
+				classes[len(classes)-1].count++
+			} else {
+				classes = append(classes, class{size: rounded[k], count: 1})
+			}
+		}
+		rep.DistinctSizes = len(classes)
+		// Enumerate configurations: multisets of classes with total <= 1.
+		widths := make([]float64, len(classes))
+		for i, c := range classes {
+			widths[i] = c.size
+		}
+		configs, err := enumerateBinConfigs(widths)
+		if err != nil {
+			return nil, nil, err
+		}
+		rep.Configs = len(configs)
+		// LP: min sum x_q  s.t.  sum_q a_iq x_q >= count_i.
+		prob := lp.NewProblem(len(configs))
+		for q := range configs {
+			prob.Objective[q] = 1
+		}
+		for i, c := range classes {
+			row := make([]float64, len(configs))
+			for q, cfg := range configs {
+				row[q] = float64(cfg[i])
+			}
+			if err := prob.AddConstraint(row, lp.GE, float64(c.count)); err != nil {
+				return nil, nil, err
+			}
+		}
+		sol, err := lp.Solve(prob)
+		if err != nil {
+			return nil, nil, err
+		}
+		if sol.Status != lp.Optimal {
+			return nil, nil, fmt.Errorf("binpack: configuration LP %v", sol.Status)
+		}
+		rep.LPBins = sol.Objective
+		// Round up each positive variable and materialize bins with slots.
+		next := 0 // next large item (descending size) per class tracked below
+		remaining := make([]int, len(classes))
+		for i, c := range classes {
+			remaining[i] = c.count
+		}
+		// Pointer into `large` per class: items are contiguous by class in
+		// the descending order.
+		classStart := make([]int, len(classes))
+		{
+			idx := 0
+			for i, c := range classes {
+				classStart[i] = idx
+				idx += c.count
+			}
+		}
+		used := make([]int, len(classes))
+		for q, cfg := range configs {
+			x := sol.X[q]
+			if x <= 1e-9 {
+				continue
+			}
+			copies := int(math.Ceil(x - 1e-9))
+			for c := 0; c < copies; c++ {
+				bin := len(loads)
+				loads = append(loads, 0)
+				for i, cnt := range cfg {
+					for k := 0; k < cnt && used[i] < classes[i].count; k++ {
+						item := large[classStart[i]+used[i]]
+						used[i]++
+						a.Bin[item] = bin
+						loads[bin] += sizes[item]
+					}
+				}
+			}
+		}
+		_ = next
+		// Coverage guarantees every class is exhausted; verify.
+		for i := range classes {
+			if used[i] < classes[i].count {
+				return nil, nil, fmt.Errorf("binpack: class %d has %d unplaced items (LP coverage bug)",
+					i, classes[i].count-used[i])
+			}
+		}
+	}
+
+	// Small items: First Fit over existing bins, then new bins.
+	for _, item := range small {
+		s := sizes[item]
+		placed := false
+		for b := range loads {
+			if loads[b]+s <= 1+Eps {
+				loads[b] += s
+				a.Bin[item] = b
+				placed = true
+				break
+			}
+		}
+		if !placed {
+			a.Bin[item] = len(loads)
+			loads = append(loads, s)
+		}
+	}
+	a.NumBins = len(loads)
+	rep.Bins = a.NumBins
+	for i, b := range a.Bin {
+		if b < 0 {
+			return nil, nil, fmt.Errorf("binpack: item %d unassigned", i)
+		}
+	}
+	return a, rep, nil
+}
+
+// enumerateBinConfigs lists multisets (as count vectors) of the given sizes
+// with total at most 1. Sizes must each exceed some eps > 0, bounding the
+// multiset cardinality by 1/eps.
+func enumerateBinConfigs(widths []float64) ([][]int, error) {
+	const maxConfigs = 1 << 20
+	var out [][]int
+	counts := make([]int, len(widths))
+	var dfs func(i int, remaining float64) error
+	dfs = func(i int, remaining float64) error {
+		if i == len(widths) {
+			for _, c := range counts {
+				if c > 0 {
+					if len(out) >= maxConfigs {
+						return fmt.Errorf("binpack: configuration explosion; increase eps")
+					}
+					out = append(out, append([]int(nil), counts...))
+					break
+				}
+			}
+			return nil
+		}
+		max := int((remaining + Eps) / widths[i])
+		for c := 0; c <= max; c++ {
+			counts[i] = c
+			if err := dfs(i+1, remaining-float64(c)*widths[i]); err != nil {
+				return err
+			}
+		}
+		counts[i] = 0
+		return nil
+	}
+	if err := dfs(0, 1); err != nil {
+		return nil, err
+	}
+	return out, nil
+}

@@ -1,0 +1,166 @@
+package binpack
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestAPTASValidatesInput(t *testing.T) {
+	if _, _, err := APTAS([]float64{0.5}, 0); err == nil {
+		t.Fatal("eps=0 accepted")
+	}
+	if _, _, err := APTAS([]float64{0.5}, 1); err == nil {
+		t.Fatal("eps=1 accepted")
+	}
+	if _, _, err := APTAS([]float64{1.5}, 0.3); err == nil {
+		t.Fatal("oversize item accepted")
+	}
+}
+
+func TestAPTASEmptyInput(t *testing.T) {
+	a, rep, err := APTAS(nil, 0.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.NumBins != 0 || rep.Bins != 0 {
+		t.Fatalf("empty: %+v", rep)
+	}
+}
+
+func TestAPTASPerfectFit(t *testing.T) {
+	a, _, err := APTAS([]float64{0.5, 0.5, 0.5, 0.5}, 0.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Validate([]float64{0.5, 0.5, 0.5, 0.5}); err != nil {
+		t.Fatal(err)
+	}
+	if a.NumBins != 2 {
+		t.Fatalf("bins = %d, want 2", a.NumBins)
+	}
+}
+
+func TestAPTASAllSmall(t *testing.T) {
+	sizes := make([]float64, 30)
+	for i := range sizes {
+		sizes[i] = 0.05
+	}
+	a, rep, err := APTAS(sizes, 0.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Large != 0 || rep.Small != 30 {
+		t.Fatalf("classification: %+v", rep)
+	}
+	if a.NumBins != 2 { // 30*0.05 = 1.5 -> 2 bins via first fit
+		t.Fatalf("bins = %d, want 2", a.NumBins)
+	}
+}
+
+// TestAPTASValidAndBounded: every assignment validates, never beats OPT,
+// and stays within (1+2eps)*OPT + distinct-size additive on small exact
+// instances.
+func TestAPTASValidAndBounded(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 50; trial++ {
+		n := 1 + rng.Intn(11)
+		sizes := make([]float64, n)
+		for i := range sizes {
+			sizes[i] = 0.05 + 0.9*rng.Float64()
+		}
+		eps := []float64{0.5, 0.34, 0.26}[trial%3]
+		a, rep, err := APTAS(sizes, eps)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if err := a.Validate(sizes); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		opt, err := ExactBranchBound(sizes, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a.NumBins < opt {
+			t.Fatalf("trial %d: APTAS %d beat OPT %d", trial, a.NumBins, opt)
+		}
+		bound := (1+2*eps)*float64(opt) + float64(rep.DistinctSizes) + 1
+		if float64(a.NumBins) > bound {
+			t.Fatalf("trial %d: %d bins > bound %g (OPT=%d, eps=%g)", trial, a.NumBins, bound, opt, eps)
+		}
+	}
+}
+
+// TestAPTASLPLowerBound: the fractional configuration bound never exceeds
+// the integral optimum.
+func TestAPTASLPBound(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(8)
+		sizes := make([]float64, n)
+		for i := range sizes {
+			sizes[i] = 0.3 + 0.6*rng.Float64() // all large at eps=0.25
+		}
+		_, rep, err := APTAS(sizes, 0.25)
+		if err != nil {
+			return false
+		}
+		opt, err := ExactBranchBound(sizes, 0)
+		if err != nil {
+			return false
+		}
+		// With grouping, the LP bound applies to the *rounded* instance,
+		// which only increases sizes: LPBins can exceed OPT by the grouping
+		// loss but never by more than the first-group cardinality; sanity
+		// check the coarse relation.
+		return rep.LPBins <= float64(opt)+float64(rep.Groups)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestAPTASScalesToLargeN exercises the asymptotic regime where the scheme
+// shines: many items, few effective sizes.
+func TestAPTASScalesToLargeN(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	sizes := make([]float64, 500)
+	for i := range sizes {
+		sizes[i] = []float64{0.26, 0.34, 0.51}[rng.Intn(3)]
+	}
+	a, rep, err := APTAS(sizes, 0.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Validate(sizes); err != nil {
+		t.Fatal(err)
+	}
+	ffd, err := FirstFitDecreasing(sizes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The scheme's envelope: (1+eps)*OPT + additive, with OPT >= L1 and the
+	// grouping loss bounded by n/groups. FFD provides a second reference.
+	l1 := LowerBoundL1(sizes)
+	if float64(a.NumBins) > 1.25*float64(l1)+float64(rep.DistinctSizes)+1 {
+		t.Fatalf("APTAS %d bins above (1+eps)*L1 envelope (L1=%d)", a.NumBins, l1)
+	}
+	grindLoss := len(sizes)/rep.Groups + rep.DistinctSizes
+	if a.NumBins > ffd.NumBins+grindLoss {
+		t.Fatalf("APTAS %d bins vs FFD %d (+%d allowed)", a.NumBins, ffd.NumBins, grindLoss)
+	}
+}
+
+func TestAPTASReportShape(t *testing.T) {
+	sizes := []float64{0.6, 0.55, 0.3, 0.1, 0.05}
+	_, rep, err := APTAS(sizes, 0.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Large != 3 || rep.Small != 2 {
+		t.Fatalf("classification: %+v", rep)
+	}
+	if rep.Configs == 0 || rep.DistinctSizes == 0 || rep.Bins == 0 {
+		t.Fatalf("report: %+v", rep)
+	}
+}

@@ -1,0 +1,244 @@
+package binpack
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func sizesOf(vals ...float64) []float64 { return vals }
+
+func TestNextFitBasic(t *testing.T) {
+	a, err := NextFit(sizesOf(0.6, 0.6, 0.4, 0.4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 0.6 | 0.6+0.4 | 0.4 -> 3 bins
+	if a.NumBins != 3 {
+		t.Fatalf("NextFit bins = %d, want 3 (%v)", a.NumBins, a.Bin)
+	}
+	if err := a.Validate(sizesOf(0.6, 0.6, 0.4, 0.4)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFirstFitReusesEarlierBins(t *testing.T) {
+	s := sizesOf(0.6, 0.6, 0.4, 0.4)
+	a, err := FirstFit(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// FF: b0=0.6, b1=0.6, 0.4->b0, 0.4->b1 => 2 bins.
+	if a.NumBins != 2 {
+		t.Fatalf("FirstFit bins = %d, want 2", a.NumBins)
+	}
+	if err := a.Validate(s); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBestFitPrefersTightest(t *testing.T) {
+	s := sizesOf(0.7, 0.5, 0.3)
+	a, err := BestFit(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// b0=0.7, b1=0.5, 0.3 -> b0 (load 0.7 tighter than 0.5).
+	if a.Bin[2] != 0 {
+		t.Fatalf("BestFit put 0.3 in bin %d, want 0 (%v)", a.Bin[2], a.Bin)
+	}
+}
+
+func TestFFDPerfect(t *testing.T) {
+	s := sizesOf(0.5, 0.5, 0.5, 0.5, 0.25, 0.25, 0.25, 0.25)
+	a, err := FirstFitDecreasing(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.NumBins != 3 {
+		t.Fatalf("FFD bins = %d, want 3", a.NumBins)
+	}
+	if err := a.Validate(s); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBFDValid(t *testing.T) {
+	s := sizesOf(0.9, 0.8, 0.2, 0.1, 0.55, 0.45)
+	a, err := BestFitDecreasing(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Validate(s); err != nil {
+		t.Fatal(err)
+	}
+	if a.NumBins != 3 {
+		t.Fatalf("BFD bins = %d, want 3", a.NumBins)
+	}
+}
+
+func TestRejectsBadSizes(t *testing.T) {
+	for _, s := range [][]float64{{0}, {-0.5}, {1.5}, {math.NaN()}} {
+		if _, err := NextFit(s); err == nil {
+			t.Errorf("NextFit accepted %v", s)
+		}
+		if _, err := FirstFit(s); err == nil {
+			t.Errorf("FirstFit accepted %v", s)
+		}
+		if _, err := BestFit(s); err == nil {
+			t.Errorf("BestFit accepted %v", s)
+		}
+	}
+}
+
+func TestEmptyInput(t *testing.T) {
+	a, err := NextFit(nil)
+	if err != nil || a.NumBins != 0 {
+		t.Fatalf("empty: %v bins=%d", err, a.NumBins)
+	}
+}
+
+func TestValidateCatchesOverfullAndRange(t *testing.T) {
+	a := &Assignment{Bin: []int{0, 0}, NumBins: 1}
+	if err := a.Validate(sizesOf(0.7, 0.7)); err == nil {
+		t.Error("overfull bin accepted")
+	}
+	b := &Assignment{Bin: []int{2}, NumBins: 1}
+	if err := b.Validate(sizesOf(0.5)); err == nil {
+		t.Error("out-of-range bin accepted")
+	}
+	c := &Assignment{Bin: []int{0}, NumBins: 1}
+	if err := c.Validate(sizesOf(0.5, 0.5)); err == nil {
+		t.Error("length mismatch accepted")
+	}
+}
+
+func TestLowerBoundL1(t *testing.T) {
+	if got := LowerBoundL1(sizesOf(0.5, 0.5, 0.5)); got != 2 {
+		t.Fatalf("L1 = %d, want 2", got)
+	}
+	if got := LowerBoundL1(nil); got != 0 {
+		t.Fatalf("L1(empty) = %d", got)
+	}
+}
+
+func TestLowerBoundL2BeatsL1(t *testing.T) {
+	// Three items of 0.6: L1 = 2 but no two fit together, so L2 = 3.
+	s := sizesOf(0.6, 0.6, 0.6)
+	if l1, l2 := LowerBoundL1(s), LowerBoundL2(s); l2 <= l1 {
+		t.Fatalf("L2 = %d not stronger than L1 = %d", l2, l1)
+	} else if l2 != 3 {
+		t.Fatalf("L2 = %d, want 3", l2)
+	}
+}
+
+func TestExactBranchBoundSmall(t *testing.T) {
+	cases := []struct {
+		sizes []float64
+		want  int
+	}{
+		{sizesOf(0.5, 0.5), 1},
+		{sizesOf(0.6, 0.6, 0.6), 3},
+		{sizesOf(0.5, 0.5, 0.5, 0.5, 0.25, 0.25, 0.25, 0.25), 3},
+		{sizesOf(1, 1, 1), 3},
+		{nil, 0},
+	}
+	for _, c := range cases {
+		got, err := ExactBranchBound(c.sizes, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != c.want {
+			t.Errorf("Exact(%v) = %d, want %d", c.sizes, got, c.want)
+		}
+	}
+}
+
+func TestExactRespectsCap(t *testing.T) {
+	s := make([]float64, 20)
+	for i := range s {
+		s[i] = 0.5
+	}
+	if _, err := ExactBranchBound(s, 10); err == nil {
+		t.Fatal("cap not enforced")
+	}
+}
+
+// TestHeuristicsSandwich: on random instances every heuristic result lies
+// between the exact optimum and its theoretical multiple, and all
+// assignments validate.
+func TestHeuristicsSandwich(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for trial := 0; trial < 60; trial++ {
+		n := 1 + rng.Intn(10)
+		s := make([]float64, n)
+		for i := range s {
+			s[i] = 0.05 + 0.95*rng.Float64()
+		}
+		opt, err := ExactBranchBound(s, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		type algo struct {
+			name  string
+			run   func([]float64) (*Assignment, error)
+			ratio float64
+		}
+		algos := []algo{
+			{"NextFit", NextFit, 2},
+			{"FirstFit", FirstFit, 2},
+			{"BestFit", BestFit, 2},
+			{"FFD", FirstFitDecreasing, 1.5},
+			{"BFD", BestFitDecreasing, 1.5},
+		}
+		for _, al := range algos {
+			a, err := al.run(s)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := a.Validate(s); err != nil {
+				t.Fatalf("%s produced invalid assignment: %v", al.name, err)
+			}
+			if a.NumBins < opt {
+				t.Fatalf("%s beat the optimum: %d < %d", al.name, a.NumBins, opt)
+			}
+			// Absolute guarantees: NF <= 2 OPT; FFD <= 1.5 OPT + 1.
+			if float64(a.NumBins) > al.ratio*float64(opt)+1+1e-9 {
+				t.Fatalf("%s = %d exceeds %.1f*OPT+1 with OPT=%d (sizes %v)",
+					al.name, a.NumBins, al.ratio, opt, s)
+			}
+		}
+	}
+}
+
+// TestLowerBoundsSound: L1, L2 never exceed the exact optimum.
+func TestLowerBoundsSound(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(9)
+		s := make([]float64, n)
+		for i := range s {
+			s[i] = 0.05 + 0.95*rng.Float64()
+		}
+		opt, err := ExactBranchBound(s, 0)
+		if err != nil {
+			return false
+		}
+		return LowerBoundL1(s) <= opt && LowerBoundL2(s) <= opt
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSortedSizesDesc(t *testing.T) {
+	s := sizesOf(0.2, 0.9, 0.5)
+	d := SortedSizesDesc(s)
+	if d[0] != 0.9 || d[1] != 0.5 || d[2] != 0.2 {
+		t.Fatalf("got %v", d)
+	}
+	if s[0] != 0.2 {
+		t.Fatal("input mutated")
+	}
+}

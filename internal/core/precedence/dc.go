@@ -1,0 +1,381 @@
+// Package precedence implements Section 2 of Augustine, Banerjee and Irani:
+// strip packing with precedence constraints.
+//
+// It provides:
+//   - DC, the divide-and-conquer O(log n)-approximation of Algorithm 1
+//     (Theorem 2.3: DC(S) <= log(n+1)·F(S) + 2·AREA(S) <= (2+log(n+1))·OPT),
+//   - the two lower bounds F(S) (critical path) and AREA(S),
+//   - NextFitUniform, the paper's algorithm F for uniform heights
+//     (Theorem 2.6: absolute 3-approximation), and
+//   - ToShelfSolution, the slide-down conversion of §2.2 showing that shelf
+//     solutions are without loss of generality for uniform heights.
+package precedence
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"strippack/internal/binpack"
+	"strippack/internal/dag"
+	"strippack/internal/geom"
+	"strippack/internal/packing"
+)
+
+// DCOptions configures the DC algorithm.
+type DCOptions struct {
+	// Subroutine is the unconstrained strip packer used for the middle band
+	// (the paper's A). It must satisfy A(S') <= 2·AREA(S')/width + max h for
+	// Theorem 2.3 to hold; NFDH does. Defaults to packing.NFDH.
+	Subroutine packing.Algorithm
+	// SplitFraction is the F-threshold as a fraction of H used to cut the
+	// instance; the paper fixes 1/2. Exposed for the ablation experiment
+	// (E9). Values must lie in (0,1); 0 means 1/2.
+	SplitFraction float64
+}
+
+// DCStats reports structural information about a DC run, used by the
+// experiment harness.
+type DCStats struct {
+	// Calls counts recursive invocations (including leaves).
+	Calls int
+	// MaxDepth is the deepest recursion level reached.
+	MaxDepth int
+	// Bands counts the middle bands packed with the subroutine.
+	Bands int
+}
+
+// Graph builds the precedence DAG of an instance.
+func Graph(in *geom.Instance) (*dag.Graph, error) {
+	g, err := dag.FromEdges(in.N(), in.Prec)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := g.TopoOrder(); err != nil {
+		return nil, err
+	}
+	return g, nil
+}
+
+// FValues returns the paper's F(s) for every rectangle: the height of the
+// top edge of s when the strip is infinitely wide.
+func FValues(in *geom.Instance) ([]float64, error) {
+	g, err := Graph(in)
+	if err != nil {
+		return nil, err
+	}
+	h := make([]float64, in.N())
+	for i, r := range in.Rects {
+		h[i] = r.H
+	}
+	return g.LongestPathF(h)
+}
+
+// LowerBound returns max(F(S), AREA(S)/width), the best of the two simple
+// lower bounds the paper uses; Lemma 2.4 shows they can be Ω(log n) below
+// OPT.
+func LowerBound(in *geom.Instance) (float64, error) {
+	f, err := FValues(in)
+	if err != nil {
+		return 0, err
+	}
+	return math.Max(dag.MaxF(f), in.AreaLowerBound()), nil
+}
+
+// DC runs Algorithm 1 on the instance and returns a feasible packing.
+func DC(in *geom.Instance, opts *DCOptions) (*geom.Packing, *DCStats, error) {
+	if err := in.Validate(); err != nil {
+		return nil, nil, err
+	}
+	g, err := Graph(in)
+	if err != nil {
+		return nil, nil, err
+	}
+	sub := packing.NFDH
+	frac := 0.5
+	if opts != nil {
+		if opts.Subroutine != nil {
+			sub = opts.Subroutine
+		}
+		if opts.SplitFraction != 0 {
+			if opts.SplitFraction <= 0 || opts.SplitFraction >= 1 {
+				return nil, nil, fmt.Errorf("precedence: split fraction %g outside (0,1)", opts.SplitFraction)
+			}
+			frac = opts.SplitFraction
+		}
+	}
+	p := geom.NewPacking(in)
+	stats := &DCStats{}
+	ids := make([]int, in.N())
+	for i := range ids {
+		ids[i] = i
+	}
+	d := &dcRun{in: in, g: g, sub: sub, frac: frac, pack: p, stats: stats}
+	if _, err := d.rec(0, ids, 1); err != nil {
+		return nil, nil, err
+	}
+	return p, stats, nil
+}
+
+type dcRun struct {
+	in    *geom.Instance
+	g     *dag.Graph
+	sub   packing.Algorithm
+	frac  float64
+	pack  *geom.Packing
+	stats *DCStats
+}
+
+// rec implements DC(y, S) and returns the vertical span used. ids are
+// original rectangle indices; depth tracks recursion for stats.
+func (d *dcRun) rec(y float64, ids []int, depth int) (float64, error) {
+	d.stats.Calls++
+	if depth > d.stats.MaxDepth {
+		d.stats.MaxDepth = depth
+	}
+	if len(ids) == 0 {
+		return 0, nil
+	}
+	// Recalculate F on the induced subgraph (Algorithm 1, line 2).
+	sub, _, err := d.g.InducedSubgraph(ids)
+	if err != nil {
+		return 0, err
+	}
+	heights := make([]float64, len(ids))
+	for k, id := range ids {
+		heights[k] = d.in.Rects[id].H
+	}
+	f, err := sub.LongestPathF(heights)
+	if err != nil {
+		return 0, err
+	}
+	h := dag.MaxF(f)
+	cut := h * d.frac
+	// Classify with exact comparisons against the predecessor maximum:
+	// F(s) - h(s) equals max_{s' in IN(s)} F(s') by definition, and using
+	// the latter avoids re-subtraction rounding, which keeps Lemma 2.2
+	// (non-empty middle band) true in floating point: walking any tight
+	// chain from the F-maximal rectangle down to a source must cross the
+	// cut at some rectangle with F > cut and predecessor max <= cut.
+	var bot, mid, top []int
+	for k, id := range ids {
+		predMax := 0.0
+		for _, u := range sub.In(k) {
+			if f[u] > predMax {
+				predMax = f[u]
+			}
+		}
+		switch {
+		case f[k] <= cut:
+			bot = append(bot, id)
+		case predMax <= cut:
+			mid = append(mid, id)
+		default:
+			top = append(top, id)
+		}
+	}
+	if len(mid) == 0 {
+		return 0, fmt.Errorf("precedence: empty middle band (n=%d, frac=%g)", len(ids), d.frac)
+	}
+	used := 0.0
+	span, err := d.rec(y, bot, depth+1)
+	if err != nil {
+		return 0, err
+	}
+	used += span
+	// Middle band: no dependencies among mid (Lemma 2.1); pack with A.
+	rects := make([]geom.Rect, len(mid))
+	for k, id := range mid {
+		rects[k] = d.in.Rects[id]
+	}
+	res, err := d.sub(d.in.StripWidth(), rects)
+	if err != nil {
+		return 0, err
+	}
+	d.stats.Bands++
+	for k, id := range mid {
+		d.pack.Set(id, res.Pos[k].X, y+used+res.Pos[k].Y)
+	}
+	used += res.Height
+	span, err = d.rec(y+used, top, depth+1)
+	if err != nil {
+		return 0, err
+	}
+	return used + span, nil
+}
+
+// GuaranteeBound returns the proven upper bound of Theorem 2.3 for the
+// instance: log2(n+1)·F(S) + 2·AREA(S)/width.
+func GuaranteeBound(in *geom.Instance) (float64, error) {
+	f, err := FValues(in)
+	if err != nil {
+		return 0, err
+	}
+	n := float64(in.N())
+	return math.Log2(n+1)*dag.MaxF(f) + 2*in.AreaLowerBound(), nil
+}
+
+// uniformHeight returns the common height of all rectangles, or an error if
+// heights differ by more than Eps.
+func uniformHeight(in *geom.Instance) (float64, error) {
+	if in.N() == 0 {
+		return 0, fmt.Errorf("precedence: empty instance")
+	}
+	h := in.Rects[0].H
+	for _, r := range in.Rects {
+		if math.Abs(r.H-h) > geom.Eps {
+			return 0, fmt.Errorf("precedence: heights not uniform (%g vs %g)", r.H, h)
+		}
+	}
+	return h, nil
+}
+
+// UniformStats reports the shelf accounting of Theorem 2.6.
+type UniformStats struct {
+	// Shelves is the number of shelves used (the bin count).
+	Shelves int
+	// Skips counts shelves closed with an empty ready queue (Lemma 2.5
+	// bounds these by OPT).
+	Skips int
+	// ShelfHeight is the uniform rectangle height.
+	ShelfHeight float64
+}
+
+// NextFitUniform runs the paper's algorithm F (§2.2) on a uniform-height
+// instance: precedence Next-Fit over shelves of the common height. The
+// resulting height is at most 3·OPT (Theorem 2.6).
+func NextFitUniform(in *geom.Instance) (*geom.Packing, *UniformStats, error) {
+	if err := in.Validate(); err != nil {
+		return nil, nil, err
+	}
+	h, err := uniformHeight(in)
+	if err != nil {
+		return nil, nil, err
+	}
+	g, err := Graph(in)
+	if err != nil {
+		return nil, nil, err
+	}
+	w := in.StripWidth()
+	sizes := make([]float64, in.N())
+	for i, r := range in.Rects {
+		sizes[i] = r.W / w
+	}
+	res, err := binpack.PrecNextFit(sizes, g)
+	if err != nil {
+		return nil, nil, err
+	}
+	p, err := shelfPacking(in, &res.Assignment, res.Order, h)
+	if err != nil {
+		return nil, nil, err
+	}
+	return p, &UniformStats{Shelves: res.NumBins, Skips: res.Skips, ShelfHeight: h}, nil
+}
+
+// FirstFitUniform is the precedence First-Fit variant on shelves, the
+// natural stronger heuristic measured in experiment E5.
+func FirstFitUniform(in *geom.Instance) (*geom.Packing, *UniformStats, error) {
+	if err := in.Validate(); err != nil {
+		return nil, nil, err
+	}
+	h, err := uniformHeight(in)
+	if err != nil {
+		return nil, nil, err
+	}
+	g, err := Graph(in)
+	if err != nil {
+		return nil, nil, err
+	}
+	w := in.StripWidth()
+	sizes := make([]float64, in.N())
+	for i, r := range in.Rects {
+		sizes[i] = r.W / w
+	}
+	res, err := binpack.PrecFirstFit(sizes, g)
+	if err != nil {
+		return nil, nil, err
+	}
+	p, err := shelfPacking(in, &res.Assignment, res.Order, h)
+	if err != nil {
+		return nil, nil, err
+	}
+	return p, &UniformStats{Shelves: res.NumBins, Skips: res.Skips, ShelfHeight: h}, nil
+}
+
+// shelfPacking lays out a bin assignment as shelves of height h, placing
+// items left to right within each shelf following the packer's placement
+// order.
+func shelfPacking(in *geom.Instance, a *binpack.Assignment, order []int, h float64) (*geom.Packing, error) {
+	p := geom.NewPacking(in)
+	x := make([]float64, a.NumBins)
+	if order == nil {
+		order = make([]int, in.N())
+		for i := range order {
+			order[i] = i
+		}
+	}
+	for _, id := range order {
+		b := a.Bin[id]
+		p.Set(id, x[b], float64(b)*h)
+		x[b] += in.Rects[id].W
+		if x[b] > in.StripWidth()+geom.Eps {
+			return nil, fmt.Errorf("precedence: shelf %d overflows the strip", b)
+		}
+	}
+	return p, nil
+}
+
+// ToShelfSolution converts an arbitrary feasible uniform-height packing into
+// a shelf solution of the same or smaller height (the slide-down argument of
+// §2.2): repeatedly pick the shelf-spanning rectangle with the smallest y
+// and slide it down into the lower of the two shelves it spans. The packing
+// is modified in place.
+func ToShelfSolution(p *geom.Packing) error {
+	in := p.Instance
+	h, err := uniformHeight(in)
+	if err != nil {
+		return err
+	}
+	if err := p.Validate(); err != nil {
+		return fmt.Errorf("precedence: input packing invalid: %w", err)
+	}
+	// A rectangle is aligned when y is an integer multiple of h.
+	spanning := func(y float64) bool {
+		m := math.Mod(y, h)
+		return m > geom.Eps && m < h-geom.Eps
+	}
+	for iter := 0; iter <= in.N(); iter++ {
+		// Find the spanning rect with the lowest y.
+		best := -1
+		for i := range in.Rects {
+			if spanning(p.Pos[i].Y) && (best == -1 || p.Pos[i].Y < p.Pos[best].Y) {
+				best = i
+			}
+		}
+		if best == -1 {
+			return nil // all aligned: shelf solution
+		}
+		// Slide down to the bottom of the lower shelf it spans.
+		newY := math.Floor(p.Pos[best].Y/h+geom.Eps) * h
+		p.Pos[best].Y = newY
+		if err := p.OverlapSweep(); err != nil {
+			return fmt.Errorf("precedence: slide-down created overlap (should be impossible): %w", err)
+		}
+	}
+	return fmt.Errorf("precedence: slide-down did not converge")
+}
+
+// SortByF returns rectangle indices sorted by increasing F value; helper
+// shared by visualizations and the adversarial example.
+func SortByF(in *geom.Instance) ([]int, error) {
+	f, err := FValues(in)
+	if err != nil {
+		return nil, err
+	}
+	idx := make([]int, in.N())
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool { return f[idx[a]] < f[idx[b]] })
+	return idx, nil
+}

@@ -1,0 +1,194 @@
+package release
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"strippack/internal/geom"
+)
+
+// Options configures the APTAS (Algorithm 2).
+type Options struct {
+	// Epsilon is the target accuracy ε of Theorem 3.5 (height at most
+	// (1+ε)·OPTf + (W+1)(R+1)). Must be positive.
+	Epsilon float64
+	// K is the column count: all widths must lie in [strip/K, strip].
+	K int
+	// MaxConfigs caps the configuration enumeration (0 = 1<<20).
+	MaxConfigs int
+	// ExactLP switches the simplex to exact rational arithmetic.
+	ExactLP bool
+	// SkipRounding bypasses Lemmas 3.1/3.2 and builds the LP on the raw
+	// widths and release times; useful when the instance is already
+	// quantized (FPGA column widths) and for the rounding experiment E8.
+	SkipRounding bool
+}
+
+// Report describes one APTAS run for the experiment harness.
+type Report struct {
+	R, W             int     // rounding parameters of Algorithm 2
+	Groups           int     // width groups per release class (W/(R+1))
+	Delta            float64 // release grid δ of Lemma 3.1
+	DistinctWidths   int
+	DistinctReleases int
+	Configs          int
+	LPVars, LPRows   int
+	LPIterations     int
+	FractionalHeight float64 // OPTf(P(R,W)) = ϱ_R + LP optimum
+	Occurrences      int     // distinct configuration occurrences used
+	AdditiveBound    float64 // (W+1)(R+1), Lemma 3.4's additive term
+	Height           float64 // final integral height
+}
+
+// Pack runs Algorithm 2 on the instance: reduce P -> P(R) -> P(R,W), solve
+// the configuration LP, convert the basic fractional optimum to an integral
+// packing, and adapt placements back to the original rectangles.
+func Pack(in *geom.Instance, opts Options) (*geom.Packing, *Report, error) {
+	if err := in.Validate(); err != nil {
+		return nil, nil, err
+	}
+	if in.N() == 0 {
+		return nil, nil, fmt.Errorf("release: empty instance")
+	}
+	if opts.Epsilon <= 0 {
+		return nil, nil, fmt.Errorf("release: epsilon must be positive, got %g", opts.Epsilon)
+	}
+	if opts.K < 1 {
+		return nil, nil, fmt.Errorf("release: K must be >= 1, got %d", opts.K)
+	}
+	if err := CheckWidthBounds(in, opts.K); err != nil {
+		return nil, nil, err
+	}
+
+	// Algorithm 2, lines 2-4.
+	epsPrime := opts.Epsilon / 3
+	R := int(math.Ceil(1 / epsPrime))
+	W := int(math.Ceil(1/epsPrime)) * opts.K * (R + 1)
+	groups := W / (R + 1)
+	rep := &Report{R: R, W: W, Groups: groups}
+
+	reduced := in
+	if !opts.SkipRounding {
+		var err error
+		var delta float64
+		reduced, delta, err = RoundReleases(in, R)
+		if err != nil {
+			return nil, nil, err
+		}
+		rep.Delta = delta
+		reduced, err = GroupWidths(reduced, groups)
+		if err != nil {
+			return nil, nil, err
+		}
+	}
+
+	m, err := BuildModel(reduced, opts.MaxConfigs)
+	if err != nil {
+		return nil, nil, err
+	}
+	rep.DistinctWidths = len(m.Widths)
+	rep.DistinctReleases = len(m.Releases)
+	rep.Configs = len(m.Configs)
+	rep.LPVars = m.Problem.NumVars
+	rep.LPRows = len(m.Problem.Constraints)
+	rep.AdditiveBound = float64((W + 1) * (R + 1))
+
+	fs, err := SolveModel(m, opts.ExactLP)
+	if err != nil {
+		return nil, nil, err
+	}
+	rep.FractionalHeight = fs.Height
+	rep.Occurrences = fs.Occurrences
+	rep.LPIterations = fs.Iterations
+
+	rp, err := ToIntegral(reduced, fs)
+	if err != nil {
+		return nil, nil, err
+	}
+	p, err := AdaptToOriginal(in, rp)
+	if err != nil {
+		return nil, nil, err
+	}
+	rep.Height = p.Height()
+	return p, rep, nil
+}
+
+// LowerBound returns a cheap valid lower bound on OPT for release-time
+// instances: max(AREA/width, h_max, max_s(release_s + h_s)).
+func LowerBound(in *geom.Instance) float64 {
+	lb := math.Max(in.AreaLowerBound(), in.MaxHeight())
+	for _, r := range in.Rects {
+		if v := r.Release + r.H; v > lb {
+			lb = v
+		}
+	}
+	return lb
+}
+
+// GreedyShelf is the baseline heuristic: rectangles sorted by release time
+// are packed onto shelves; a shelf is closed when the next rectangle does
+// not fit or is released after the shelf's base. Linear time after sorting,
+// no approximation guarantee.
+func GreedyShelf(in *geom.Instance) (*geom.Packing, error) {
+	if err := in.Validate(); err != nil {
+		return nil, err
+	}
+	p := geom.NewPacking(in)
+	order := make([]int, in.N())
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		ra, rb := in.Rects[order[a]], in.Rects[order[b]]
+		if ra.Release != rb.Release {
+			return ra.Release < rb.Release
+		}
+		return ra.H > rb.H
+	})
+	w := in.StripWidth()
+	shelfY, shelfH, x := 0.0, 0.0, 0.0
+	for _, id := range order {
+		r := in.Rects[id]
+		if x+r.W > w+geom.Eps || r.Release > shelfY+geom.Eps {
+			ny := shelfY + shelfH
+			if r.Release > ny {
+				ny = r.Release
+			}
+			shelfY, shelfH, x = ny, 0, 0
+		}
+		p.Set(id, x, shelfY)
+		x += r.W
+		if r.H > shelfH {
+			shelfH = r.H
+		}
+	}
+	return p, nil
+}
+
+// GreedySkyline is the stronger baseline: rectangles sorted by release are
+// placed bottom-left on a skyline, each no lower than its release time.
+func GreedySkyline(in *geom.Instance) (*geom.Packing, error) {
+	if err := in.Validate(); err != nil {
+		return nil, err
+	}
+	p := geom.NewPacking(in)
+	order := make([]int, in.N())
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		return in.Rects[order[a]].Release < in.Rects[order[b]].Release
+	})
+	sky := geom.NewSkyline(in.StripWidth())
+	for _, id := range order {
+		r := in.Rects[id]
+		x, y, ok := sky.BestPosition(r.W, r.H, r.Release)
+		if !ok {
+			return nil, fmt.Errorf("release: no skyline position for rect %d", id)
+		}
+		sky.Place(x, r.W, y, r.H)
+		p.Set(id, x, y)
+	}
+	return p, nil
+}

@@ -1,0 +1,96 @@
+package release
+
+import (
+	"fmt"
+	"sort"
+
+	"strippack/internal/geom"
+)
+
+// Config is a configuration in the paper's sense: a multiset of widths that
+// fit side by side in the strip. Counts[i] is the multiplicity of the i-th
+// distinct width.
+type Config struct {
+	Counts []int
+	// TotalWidth caches the summed width of the multiset.
+	TotalWidth float64
+}
+
+// EnumerateConfigs lists every non-empty configuration over the given
+// distinct widths whose total is at most stripWidth. Widths must be sorted
+// ascending. The count is exponential in stripWidth/min(width) — K in the
+// paper — so maxConfigs caps the enumeration (0 means 1<<20).
+func EnumerateConfigs(widths []float64, stripWidth float64, maxConfigs int) ([]Config, error) {
+	if maxConfigs <= 0 {
+		maxConfigs = 1 << 20
+	}
+	if !sort.Float64sAreSorted(widths) {
+		return nil, fmt.Errorf("release: widths not sorted")
+	}
+	for _, w := range widths {
+		if w <= 0 {
+			return nil, fmt.Errorf("release: non-positive width %g", w)
+		}
+	}
+	var out []Config
+	counts := make([]int, len(widths))
+	var dfs func(i int, remaining float64) error
+	dfs = func(i int, remaining float64) error {
+		if i == len(widths) {
+			// Emit if non-empty.
+			for _, c := range counts {
+				if c > 0 {
+					if len(out) >= maxConfigs {
+						return fmt.Errorf("release: more than %d configurations; increase epsilon or reduce K", maxConfigs)
+					}
+					cc := Config{Counts: append([]int(nil), counts...), TotalWidth: stripWidth - remaining}
+					out = append(out, cc)
+					break
+				}
+			}
+			return nil
+		}
+		// Try multiplicities 0,1,2,... of widths[i].
+		max := int((remaining + geom.Eps) / widths[i])
+		for c := 0; c <= max; c++ {
+			counts[i] = c
+			if err := dfs(i+1, remaining-float64(c)*widths[i]); err != nil {
+				return err
+			}
+		}
+		counts[i] = 0
+		return nil
+	}
+	if err := dfs(0, stripWidth); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Items returns the total number of rectangles in the configuration.
+func (c Config) Items() int {
+	n := 0
+	for _, k := range c.Counts {
+		n += k
+	}
+	return n
+}
+
+// CountConfigs returns only the number of configurations (used by the
+// LP-scaling experiment E7 without allocating them all).
+func CountConfigs(widths []float64, stripWidth float64) int {
+	var rec func(i int, remaining float64) int
+	rec = func(i int, remaining float64) int {
+		if i == len(widths) {
+			return 1
+		}
+		total := 0
+		max := int((remaining + geom.Eps) / widths[i])
+		for c := 0; c <= max; c++ {
+			total += rec(i+1, remaining-float64(c)*widths[i])
+		}
+		return total
+	}
+	// Subtract the empty configuration.
+	return rec(0, stripWidth) - 1
+}

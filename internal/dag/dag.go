@@ -1,0 +1,360 @@
+// Package dag implements the directed-acyclic-graph machinery used by the
+// precedence-constrained strip packing algorithms: topological orders, the
+// recursive F(s) lower bound of the paper (height of the top edge of s in an
+// infinitely wide strip), critical paths, induced subgraphs and transitive
+// reduction, plus generators for random task graphs.
+package dag
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// Graph is a DAG over vertices 0..N-1 stored as forward and reverse
+// adjacency lists. Vertices correspond to rectangle IDs.
+type Graph struct {
+	n    int
+	out  [][]int
+	in   [][]int
+	seen map[[2]int]bool // edge dedup
+}
+
+// New returns an empty graph on n vertices.
+func New(n int) *Graph {
+	return &Graph{
+		n:    n,
+		out:  make([][]int, n),
+		in:   make([][]int, n),
+		seen: make(map[[2]int]bool),
+	}
+}
+
+// FromEdges builds a graph on n vertices from an edge list. Duplicate edges
+// are collapsed. It does not check acyclicity; call Cycle or TopoOrder.
+func FromEdges(n int, edges [][2]int) (*Graph, error) {
+	g := New(n)
+	for _, e := range edges {
+		if err := g.AddEdge(e[0], e[1]); err != nil {
+			return nil, err
+		}
+	}
+	return g, nil
+}
+
+// N returns the number of vertices.
+func (g *Graph) N() int { return g.n }
+
+// AddEdge inserts edge u -> v, ignoring exact duplicates.
+func (g *Graph) AddEdge(u, v int) error {
+	if u < 0 || u >= g.n || v < 0 || v >= g.n {
+		return fmt.Errorf("dag: edge (%d,%d) out of range [0,%d)", u, v, g.n)
+	}
+	if u == v {
+		return fmt.Errorf("dag: self-loop on %d", u)
+	}
+	k := [2]int{u, v}
+	if g.seen[k] {
+		return nil
+	}
+	g.seen[k] = true
+	g.out[u] = append(g.out[u], v)
+	g.in[v] = append(g.in[v], u)
+	return nil
+}
+
+// HasEdge reports whether u -> v is present.
+func (g *Graph) HasEdge(u, v int) bool { return g.seen[[2]int{u, v}] }
+
+// Out returns the successors of u (shared slice; do not mutate).
+func (g *Graph) Out(u int) []int { return g.out[u] }
+
+// In returns the predecessors of u (the paper's IN(s); shared slice).
+func (g *Graph) In(u int) []int { return g.in[u] }
+
+// Edges returns all edges in deterministic order.
+func (g *Graph) Edges() [][2]int {
+	var es [][2]int
+	for u := 0; u < g.n; u++ {
+		for _, v := range g.out[u] {
+			es = append(es, [2]int{u, v})
+		}
+	}
+	sort.Slice(es, func(i, j int) bool {
+		if es[i][0] != es[j][0] {
+			return es[i][0] < es[j][0]
+		}
+		return es[i][1] < es[j][1]
+	})
+	return es
+}
+
+// EdgeCount returns the number of distinct edges.
+func (g *Graph) EdgeCount() int { return len(g.seen) }
+
+// ErrCycle reports that the graph is not acyclic.
+var ErrCycle = errors.New("dag: graph contains a cycle")
+
+// TopoOrder returns a topological order (Kahn's algorithm with a smallest-
+// index tie-break for determinism) or ErrCycle.
+func (g *Graph) TopoOrder() ([]int, error) {
+	indeg := make([]int, g.n)
+	for v := 0; v < g.n; v++ {
+		indeg[v] = len(g.in[v])
+	}
+	// Min-heap on vertex index for deterministic output.
+	var heap intHeap
+	for v := 0; v < g.n; v++ {
+		if indeg[v] == 0 {
+			heap.push(v)
+		}
+	}
+	order := make([]int, 0, g.n)
+	for heap.len() > 0 {
+		v := heap.pop()
+		order = append(order, v)
+		for _, w := range g.out[v] {
+			indeg[w]--
+			if indeg[w] == 0 {
+				heap.push(w)
+			}
+		}
+	}
+	if len(order) != g.n {
+		return nil, ErrCycle
+	}
+	return order, nil
+}
+
+// IsAcyclic reports whether the graph has no directed cycle.
+func (g *Graph) IsAcyclic() bool {
+	_, err := g.TopoOrder()
+	return err == nil
+}
+
+// LongestPathF computes the paper's F function: F(s) = h(s) if IN(s) is
+// empty, else h(s) + max over predecessors of F. heights[v] is the height of
+// rectangle v. It returns per-vertex F values. Returns ErrCycle on cyclic
+// input.
+func (g *Graph) LongestPathF(heights []float64) ([]float64, error) {
+	if len(heights) != g.n {
+		return nil, fmt.Errorf("dag: %d heights for %d vertices", len(heights), g.n)
+	}
+	order, err := g.TopoOrder()
+	if err != nil {
+		return nil, err
+	}
+	f := make([]float64, g.n)
+	for _, v := range order {
+		best := 0.0
+		for _, u := range g.in[v] {
+			if f[u] > best {
+				best = f[u]
+			}
+		}
+		f[v] = heights[v] + best
+	}
+	return f, nil
+}
+
+// MaxF returns max_v F(v), the critical-path lower bound F(S) of the paper.
+func MaxF(f []float64) float64 {
+	var m float64
+	for _, x := range f {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}
+
+// CriticalPath returns one path realizing MaxF, as a vertex sequence from a
+// source to the vertex attaining the maximum.
+func (g *Graph) CriticalPath(heights []float64) ([]int, error) {
+	f, err := g.LongestPathF(heights)
+	if err != nil {
+		return nil, err
+	}
+	// Find the argmax, then walk backwards through tight predecessors.
+	best := 0
+	for v := 1; v < g.n; v++ {
+		if f[v] > f[best] {
+			best = v
+		}
+	}
+	if g.n == 0 {
+		return nil, nil
+	}
+	path := []int{best}
+	cur := best
+	for {
+		next := -1
+		for _, u := range g.in[cur] {
+			if next == -1 || f[u] > f[next] {
+				next = u
+			}
+		}
+		if next == -1 {
+			break
+		}
+		path = append(path, next)
+		cur = next
+	}
+	// Reverse to source-first order.
+	for i, j := 0, len(path)-1; i < j; i, j = i+1, j-1 {
+		path[i], path[j] = path[j], path[i]
+	}
+	return path, nil
+}
+
+// Levels assigns each vertex its level: 0 for sources, else 1 + max level of
+// predecessors. Used by the level-by-level GGJY-style bin packer.
+func (g *Graph) Levels() ([]int, error) {
+	order, err := g.TopoOrder()
+	if err != nil {
+		return nil, err
+	}
+	lvl := make([]int, g.n)
+	for _, v := range order {
+		best := -1
+		for _, u := range g.in[v] {
+			if lvl[u] > best {
+				best = lvl[u]
+			}
+		}
+		lvl[v] = best + 1
+	}
+	return lvl, nil
+}
+
+// InducedSubgraph returns the subgraph on the given vertex subset together
+// with the mapping newIndex -> oldIndex. Edges between retained vertices are
+// kept, all others dropped. The subset must not contain duplicates.
+func (g *Graph) InducedSubgraph(subset []int) (*Graph, []int, error) {
+	newIdx := make(map[int]int, len(subset))
+	for i, v := range subset {
+		if v < 0 || v >= g.n {
+			return nil, nil, fmt.Errorf("dag: subset vertex %d out of range", v)
+		}
+		if _, dup := newIdx[v]; dup {
+			return nil, nil, fmt.Errorf("dag: duplicate vertex %d in subset", v)
+		}
+		newIdx[v] = i
+	}
+	sub := New(len(subset))
+	for _, v := range subset {
+		for _, w := range g.out[v] {
+			if j, ok := newIdx[w]; ok {
+				if err := sub.AddEdge(newIdx[v], j); err != nil {
+					return nil, nil, err
+				}
+			}
+		}
+	}
+	old := append([]int(nil), subset...)
+	return sub, old, nil
+}
+
+// Reachable returns the set of vertices reachable from u (excluding u) as a
+// boolean slice.
+func (g *Graph) Reachable(u int) []bool {
+	seen := make([]bool, g.n)
+	stack := []int{u}
+	for len(stack) > 0 {
+		v := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, w := range g.out[v] {
+			if !seen[w] {
+				seen[w] = true
+				stack = append(stack, w)
+			}
+		}
+	}
+	return seen
+}
+
+// TransitiveReduction returns a copy of g with every edge (u,v) removed when
+// v is reachable from u through a longer path. The reduction preserves the
+// precedence relation and therefore F and all packing feasibility.
+func (g *Graph) TransitiveReduction() *Graph {
+	red := New(g.n)
+	for u := 0; u < g.n; u++ {
+		// Reachability from u using at least two edges: union over
+		// successors of their reachable sets plus the successors themselves
+		// at distance >= 2.
+		far := make([]bool, g.n)
+		for _, v := range g.out[u] {
+			r := g.Reachable(v)
+			for w, ok := range r {
+				if ok {
+					far[w] = true
+				}
+			}
+		}
+		for _, v := range g.out[u] {
+			if !far[v] {
+				// Edge is not implied; keep it.
+				_ = red.AddEdge(u, v)
+			}
+		}
+	}
+	return red
+}
+
+// TransitiveClosure returns the full reachability relation as a matrix.
+func (g *Graph) TransitiveClosure() [][]bool {
+	cl := make([][]bool, g.n)
+	for u := 0; u < g.n; u++ {
+		cl[u] = g.Reachable(u)
+	}
+	return cl
+}
+
+// Independent reports whether no precedence relation holds between u and v
+// in either direction (Lemma 2.1 uses this notion for the middle band).
+func (g *Graph) Independent(u, v int, closure [][]bool) bool {
+	return !closure[u][v] && !closure[v][u]
+}
+
+// intHeap is a minimal binary min-heap of ints, avoiding container/heap
+// interface overhead in the hot topological-sort loop.
+type intHeap struct{ a []int }
+
+func (h *intHeap) len() int { return len(h.a) }
+
+func (h *intHeap) push(x int) {
+	h.a = append(h.a, x)
+	i := len(h.a) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if h.a[p] <= h.a[i] {
+			break
+		}
+		h.a[p], h.a[i] = h.a[i], h.a[p]
+		i = p
+	}
+}
+
+func (h *intHeap) pop() int {
+	top := h.a[0]
+	last := len(h.a) - 1
+	h.a[0] = h.a[last]
+	h.a = h.a[:last]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		small := i
+		if l < len(h.a) && h.a[l] < h.a[small] {
+			small = l
+		}
+		if r < len(h.a) && h.a[r] < h.a[small] {
+			small = r
+		}
+		if small == i {
+			break
+		}
+		h.a[i], h.a[small] = h.a[small], h.a[i]
+		i = small
+	}
+	return top
+}

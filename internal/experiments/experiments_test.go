@@ -1,0 +1,102 @@
+package experiments
+
+import (
+	"bytes"
+	"io"
+	"strings"
+	"testing"
+)
+
+func TestAllHaveUniqueIDsAndTitles(t *testing.T) {
+	seen := map[string]bool{}
+	for _, e := range All() {
+		if e.ID == "" || e.Title == "" || e.Run == nil {
+			t.Fatalf("incomplete experiment: %+v", e)
+		}
+		if seen[e.ID] {
+			t.Fatalf("duplicate ID %s", e.ID)
+		}
+		seen[e.ID] = true
+	}
+	if len(seen) != 12 {
+		t.Fatalf("expected 12 experiments, got %d", len(seen))
+	}
+}
+
+func TestLookup(t *testing.T) {
+	if _, ok := Lookup("E1"); !ok {
+		t.Fatal("E1 missing")
+	}
+	if _, ok := Lookup("E99"); ok {
+		t.Fatal("bogus ID found")
+	}
+}
+
+// runExperiment executes one experiment and returns its table text.
+func runExperiment(t *testing.T, id string) string {
+	t.Helper()
+	e, ok := Lookup(id)
+	if !ok {
+		t.Fatalf("experiment %s missing", id)
+	}
+	var buf bytes.Buffer
+	if err := e.Run(&buf); err != nil {
+		t.Fatalf("%s failed: %v", id, err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "---") {
+		t.Fatalf("%s produced no table:\n%s", id, out)
+	}
+	return out
+}
+
+func TestE2GapColumnsGrow(t *testing.T) {
+	out := runExperiment(t, "E2")
+	// The last column (OPT/LB) must exceed 4 in the final row (k=10).
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	last := lines[len(lines)-1]
+	fields := strings.Split(last, "|")
+	ratio := strings.TrimSpace(fields[len(fields)-1])
+	if !(strings.HasPrefix(ratio, "4") || strings.HasPrefix(ratio, "5")) {
+		t.Fatalf("k=10 OPT/LB = %q, want ~5:\n%s", ratio, out)
+	}
+}
+
+func TestE4RatioApproaches3(t *testing.T) {
+	out := runExperiment(t, "E4")
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	last := lines[len(lines)-1]
+	fields := strings.Split(last, "|")
+	ratio := strings.TrimSpace(fields[len(fields)-1])
+	if !strings.HasPrefix(ratio, "2.9") && !strings.HasPrefix(ratio, "3") {
+		t.Fatalf("k=32 OPT/LB = %q, want ~3:\n%s", ratio, out)
+	}
+}
+
+func TestSmallExperimentsRun(t *testing.T) {
+	// The quick experiments run in-test; the heavyweight ones (E1 at
+	// n=4096, E6, E7) are exercised by cmd/experiments and the benchmarks.
+	for _, id := range []string{"E3", "E5", "E8", "E10"} {
+		id := id
+		t.Run(id, func(t *testing.T) {
+			runExperiment(t, id)
+		})
+	}
+}
+
+func TestRunAllWritesAllHeaders(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full harness is slow")
+	}
+	var buf bytes.Buffer
+	if err := RunAll(&buf); err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range All() {
+		if !strings.Contains(buf.String(), "== "+e.ID+":") {
+			t.Fatalf("missing %s section", e.ID)
+		}
+	}
+}
+
+var _ io.Writer = (*bytes.Buffer)(nil)

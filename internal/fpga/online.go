@@ -1,0 +1,137 @@
+package fpga
+
+import (
+	"fmt"
+	"sort"
+
+	"strippack/internal/geom"
+)
+
+// OnlineScheduler is the event-driven scheduler an operating system for a
+// reconfigurable platform would run (the paper's §1/§3 motivation, ref
+// [23]): tasks become known only at their release times and are placed
+// immediately or queued. Placement uses a per-column horizon (the earliest
+// time each column becomes free) and chooses, among all contiguous column
+// windows wide enough, the one that lets the task start earliest, breaking
+// ties by the leftmost window.
+//
+// The scheduler is non-clairvoyant: it never uses information about tasks
+// not yet released, making it a fair online baseline for the offline APTAS.
+type OnlineScheduler struct {
+	device *Device
+	// horizon[c] is the time column c becomes free.
+	horizon []float64
+	tasks   []Task
+}
+
+// NewOnlineScheduler returns a scheduler for the device.
+func NewOnlineScheduler(d *Device) *OnlineScheduler {
+	return &OnlineScheduler{device: d, horizon: make([]float64, d.Columns)}
+}
+
+// Submit places one task (cols contiguous columns for duration time units,
+// released at release) and returns the placed Task. Decisions are greedy
+// and irrevocable, as in a real run-time system.
+func (o *OnlineScheduler) Submit(id int, name string, cols int, duration, release float64) (Task, error) {
+	if cols < 1 || cols > o.device.Columns {
+		return Task{}, fmt.Errorf("fpga: task %d needs %d of %d columns", id, cols, o.device.Columns)
+	}
+	if duration <= 0 {
+		return Task{}, fmt.Errorf("fpga: task %d has non-positive duration", id)
+	}
+	bestStart := -1.0
+	bestCol := -1
+	for c := 0; c+cols <= o.device.Columns; c++ {
+		start := release
+		for k := c; k < c+cols; k++ {
+			if o.horizon[k] > start {
+				start = o.horizon[k]
+			}
+		}
+		start += o.device.ReconfigDelay
+		if bestCol == -1 || start < bestStart-geom.Eps {
+			bestStart = start
+			bestCol = c
+		}
+	}
+	t := Task{ID: id, Name: name, FirstCol: bestCol, Cols: cols, Start: bestStart, Duration: duration}
+	for k := bestCol; k < bestCol+cols; k++ {
+		o.horizon[k] = t.End()
+	}
+	o.tasks = append(o.tasks, t)
+	return t, nil
+}
+
+// Schedule returns the accumulated schedule for simulation/inspection.
+func (o *OnlineScheduler) Schedule() *Schedule {
+	return &Schedule{Device: o.device, Tasks: append([]Task(nil), o.tasks...)}
+}
+
+// Makespan returns the latest column horizon.
+func (o *OnlineScheduler) Makespan() float64 {
+	var m float64
+	for _, h := range o.horizon {
+		if h > m {
+			m = h
+		}
+	}
+	return m
+}
+
+// RunOnline replays a release-time instance through the online scheduler in
+// release order (ties by index) on a K-column device and returns the
+// schedule. Widths must be multiples of width/K (use QuantizeInstance
+// first).
+func RunOnline(in *geom.Instance, d *Device) (*Schedule, error) {
+	if err := in.Validate(); err != nil {
+		return nil, err
+	}
+	if len(in.Prec) > 0 {
+		return nil, fmt.Errorf("fpga: online scheduler does not handle precedence edges")
+	}
+	col := in.StripWidth() / float64(d.Columns)
+	order := make([]int, in.N())
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		return in.Rects[order[a]].Release < in.Rects[order[b]].Release
+	})
+	o := NewOnlineScheduler(d)
+	for _, id := range order {
+		r := in.Rects[id]
+		cols := int(r.W/col + 0.5)
+		if cols < 1 || absf(r.W-float64(cols)*col) > 1e-6 {
+			return nil, fmt.Errorf("fpga: rect %d width %g not column-aligned", id, r.W)
+		}
+		if _, err := o.Submit(id, r.Name, cols, r.H, r.Release); err != nil {
+			return nil, err
+		}
+	}
+	return o.Schedule(), nil
+}
+
+// ToPacking converts a schedule back into a packing of the instance (the
+// inverse of FromPacking), so online schedules can be validated with the
+// geometric validator and compared with offline packings.
+func (s *Schedule) ToPacking(in *geom.Instance) (*geom.Packing, error) {
+	if len(s.Tasks) != in.N() {
+		return nil, fmt.Errorf("fpga: %d tasks for %d rects", len(s.Tasks), in.N())
+	}
+	col := in.StripWidth() / float64(s.Device.Columns)
+	p := geom.NewPacking(in)
+	for _, t := range s.Tasks {
+		if t.ID < 0 || t.ID >= in.N() {
+			return nil, fmt.Errorf("fpga: task ID %d out of range", t.ID)
+		}
+		p.Set(t.ID, float64(t.FirstCol)*col, t.Start)
+	}
+	return p, nil
+}
+
+func absf(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

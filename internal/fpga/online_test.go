@@ -1,0 +1,168 @@
+package fpga
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"strippack/internal/core/release"
+	"strippack/internal/workload"
+)
+
+func TestOnlineSubmitValidation(t *testing.T) {
+	o := NewOnlineScheduler(NewDevice(4))
+	if _, err := o.Submit(0, "", 0, 1, 0); err == nil {
+		t.Fatal("zero columns accepted")
+	}
+	if _, err := o.Submit(0, "", 5, 1, 0); err == nil {
+		t.Fatal("too many columns accepted")
+	}
+	if _, err := o.Submit(0, "", 1, 0, 0); err == nil {
+		t.Fatal("zero duration accepted")
+	}
+}
+
+func TestOnlinePacksInParallel(t *testing.T) {
+	o := NewOnlineScheduler(NewDevice(4))
+	// Two 2-column tasks released together run side by side.
+	t1, err := o.Submit(0, "a", 2, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t2, err := o.Submit(1, "b", 2, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if t1.Start != 0 || t2.Start != 0 {
+		t.Fatalf("tasks serialized: %v %v", t1, t2)
+	}
+	if t1.FirstCol == t2.FirstCol {
+		t.Fatal("tasks share columns")
+	}
+	if o.Makespan() != 1 {
+		t.Fatalf("makespan = %g", o.Makespan())
+	}
+}
+
+func TestOnlineWaitsForRelease(t *testing.T) {
+	o := NewOnlineScheduler(NewDevice(2))
+	task, err := o.Submit(0, "late", 1, 1, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if task.Start != 5 {
+		t.Fatalf("start = %g, want 5", task.Start)
+	}
+}
+
+func TestOnlineQueuesWhenFull(t *testing.T) {
+	o := NewOnlineScheduler(NewDevice(2))
+	if _, err := o.Submit(0, "w", 2, 3, 0); err != nil {
+		t.Fatal(err)
+	}
+	task, err := o.Submit(1, "q", 1, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if task.Start != 3 {
+		t.Fatalf("queued task starts at %g, want 3", task.Start)
+	}
+}
+
+func TestOnlineReconfigDelay(t *testing.T) {
+	d := &Device{Columns: 1, ReconfigDelay: 0.5}
+	o := NewOnlineScheduler(d)
+	task, err := o.Submit(0, "r", 1, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if task.Start != 0.5 {
+		t.Fatalf("start = %g, want 0.5 (after reconfiguration)", task.Start)
+	}
+	// The schedule must also pass the simulator's reconfiguration check.
+	if _, err := o.Schedule().Simulate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunOnlineRejects(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	in := workload.FPGA(rng, 5, 4, 1)
+	in.AddEdge(0, 1)
+	if _, err := RunOnline(in, NewDevice(4)); err == nil {
+		t.Fatal("precedence accepted")
+	}
+	bad := workload.Uniform(rng, 3, 0.1, 0.33, 0.1, 1) // not column aligned
+	if _, err := RunOnline(bad, NewDevice(4)); err == nil {
+		t.Fatal("misaligned widths accepted")
+	}
+}
+
+// TestRunOnlineValidAndSimulates: online schedules are geometrically valid
+// packings and survive the discrete-event simulator, and the makespan is at
+// least every lower bound.
+func TestRunOnlineValidAndSimulates(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	for trial := 0; trial < 30; trial++ {
+		K := 2 + rng.Intn(5)
+		in := workload.FPGA(rng, 5+rng.Intn(20), K, 3)
+		sched, err := RunOnline(in, NewDevice(K))
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		st, err := sched.Simulate()
+		if err != nil {
+			t.Fatalf("trial %d: simulate: %v", trial, err)
+		}
+		p, err := sched.ToPacking(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := p.Validate(); err != nil {
+			t.Fatalf("trial %d: packing invalid: %v", trial, err)
+		}
+		if math.Abs(st.Makespan-p.Height()) > 1e-9 {
+			t.Fatalf("trial %d: makespan %g != height %g", trial, st.Makespan, p.Height())
+		}
+		if st.Makespan < release.LowerBound(in)-1e-9 {
+			t.Fatalf("trial %d: makespan below lower bound", trial)
+		}
+	}
+}
+
+// TestOnlineVsOfflineGap: offline greedy (which sees all tasks) should on
+// average be no worse than the online scheduler.
+func TestOnlineVsOfflineGap(t *testing.T) {
+	rng := rand.New(rand.NewSource(33))
+	var onSum, offSum float64
+	for trial := 0; trial < 20; trial++ {
+		K := 4
+		in := workload.FPGA(rng, 20, K, 4)
+		sched, err := RunOnline(in, NewDevice(K))
+		if err != nil {
+			t.Fatal(err)
+		}
+		st, err := sched.Simulate()
+		if err != nil {
+			t.Fatal(err)
+		}
+		off, err := release.GreedySkyline(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		onSum += st.Makespan
+		offSum += off.Height()
+	}
+	if offSum > onSum*1.05 {
+		t.Fatalf("offline greedy (%g) noticeably worse than online (%g)", offSum, onSum)
+	}
+}
+
+func TestToPackingValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	in := workload.FPGA(rng, 4, 2, 1)
+	s := &Schedule{Device: NewDevice(2), Tasks: []Task{{ID: 0}}}
+	if _, err := s.ToPacking(in); err == nil {
+		t.Fatal("task count mismatch accepted")
+	}
+}

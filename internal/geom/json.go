@@ -1,0 +1,77 @@
+package geom
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// instanceJSON is the on-disk format accepted by the CLI tools.
+type instanceJSON struct {
+	Width float64    `json:"width,omitempty"`
+	Rects []rectJSON `json:"rects"`
+	Prec  [][2]int   `json:"prec,omitempty"`
+}
+
+type rectJSON struct {
+	Name    string  `json:"name,omitempty"`
+	W       float64 `json:"w"`
+	H       float64 `json:"h"`
+	Release float64 `json:"release,omitempty"`
+}
+
+// WriteInstance encodes the instance as indented JSON.
+func WriteInstance(w io.Writer, in *Instance) error {
+	ij := instanceJSON{Width: in.Width, Prec: in.Prec}
+	for _, r := range in.Rects {
+		ij.Rects = append(ij.Rects, rectJSON{Name: r.Name, W: r.W, H: r.H, Release: r.Release})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(ij)
+}
+
+// ReadInstance decodes an instance from JSON and validates it.
+func ReadInstance(r io.Reader) (*Instance, error) {
+	var ij instanceJSON
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&ij); err != nil {
+		return nil, fmt.Errorf("geom: decoding instance: %w", err)
+	}
+	rects := make([]Rect, len(ij.Rects))
+	for i, rj := range ij.Rects {
+		rects[i] = Rect{Name: rj.Name, W: rj.W, H: rj.H, Release: rj.Release}
+	}
+	in := NewInstance(ij.Width, rects)
+	in.Prec = ij.Prec
+	if err := in.Validate(); err != nil {
+		return nil, err
+	}
+	return in, nil
+}
+
+// packingJSON is the CLI output format: positions aligned with rects.
+type packingJSON struct {
+	Height float64     `json:"height"`
+	Pos    []Placement `json:"pos"`
+}
+
+// WritePacking encodes placements and the achieved height as JSON.
+func WritePacking(w io.Writer, p *Packing) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(packingJSON{Height: p.Height(), Pos: p.Pos})
+}
+
+// ReadPacking decodes placements for the given instance.
+func ReadPacking(r io.Reader, in *Instance) (*Packing, error) {
+	var pj packingJSON
+	if err := json.NewDecoder(r).Decode(&pj); err != nil {
+		return nil, fmt.Errorf("geom: decoding packing: %w", err)
+	}
+	if len(pj.Pos) != in.N() {
+		return nil, fmt.Errorf("geom: packing has %d positions for %d rects", len(pj.Pos), in.N())
+	}
+	return &Packing{Instance: in, Pos: pj.Pos}, nil
+}

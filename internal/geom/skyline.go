@@ -1,0 +1,181 @@
+package geom
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Skyline maintains the upper contour of a partial packing: a sequence of
+// horizontal segments spanning the strip from x=0 to x=width. It supports
+// the bottom-left placement rule used by the BL heuristic and by the shelf
+// packers when they need a compact representation of free space.
+//
+// The zero value is not usable; construct with NewSkyline.
+type Skyline struct {
+	width float64
+	// segs are maximal horizontal segments, sorted by x, covering [0,width).
+	segs []skySeg
+}
+
+type skySeg struct {
+	x float64 // left edge
+	w float64 // width
+	y float64 // height of the contour over [x, x+w)
+}
+
+// NewSkyline returns a flat skyline of the given strip width at height 0.
+func NewSkyline(width float64) *Skyline {
+	return &Skyline{width: width, segs: []skySeg{{x: 0, w: width, y: 0}}}
+}
+
+// Width returns the strip width the skyline spans.
+func (s *Skyline) Width() float64 { return s.width }
+
+// MaxY returns the highest contour level.
+func (s *Skyline) MaxY() float64 {
+	var y float64
+	for _, g := range s.segs {
+		if g.y > y {
+			y = g.y
+		}
+	}
+	return y
+}
+
+// MinY returns the lowest contour level.
+func (s *Skyline) MinY() float64 {
+	y := math.Inf(1)
+	for _, g := range s.segs {
+		if g.y < y {
+			y = g.y
+		}
+	}
+	return y
+}
+
+// Segments returns a copy of the contour as (x, width, y) triples.
+func (s *Skyline) Segments() [][3]float64 {
+	out := make([][3]float64, len(s.segs))
+	for i, g := range s.segs {
+		out[i] = [3]float64{g.x, g.w, g.y}
+	}
+	return out
+}
+
+// supportY returns the y at which a rectangle of width w whose left edge is
+// at segment index i would rest: the max contour height over [x_i, x_i+w).
+// ok is false when the rectangle would stick out of the strip.
+func (s *Skyline) supportY(i int, w float64) (y float64, ok bool) {
+	x0 := s.segs[i].x
+	if x0+w > s.width+Eps {
+		return 0, false
+	}
+	end := x0 + w
+	for j := i; j < len(s.segs) && s.segs[j].x+Eps < end; j++ {
+		if s.segs[j].y > y {
+			y = s.segs[j].y
+		}
+	}
+	return y, true
+}
+
+// BestPosition returns the bottom-left-most position for a rectangle of
+// width w and height h, optionally at or above minY (release time support).
+// It returns the chosen x and y. The position minimizes the resulting top
+// edge y+h, breaking ties by smaller x. ok is false only if w exceeds the
+// strip width.
+func (s *Skyline) BestPosition(w, h, minY float64) (x, y float64, ok bool) {
+	bestY := math.Inf(1)
+	bestX := math.Inf(1)
+	found := false
+	for i := range s.segs {
+		sy, fits := s.supportY(i, w)
+		if !fits {
+			continue
+		}
+		if sy < minY {
+			sy = minY
+		}
+		if sy < bestY-Eps || (sy < bestY+Eps && s.segs[i].x < bestX-Eps) {
+			bestY = sy
+			bestX = s.segs[i].x
+			found = true
+		}
+	}
+	if !found {
+		return 0, 0, false
+	}
+	return bestX, bestY, true
+}
+
+// Place raises the contour over [x, x+w) to y+h, recording that a rectangle
+// of width w and height h was placed with its bottom-left corner at (x, y).
+// The caller is responsible for choosing a supported y (>= contour).
+func (s *Skyline) Place(x, w, y, h float64) {
+	top := y + h
+	end := x + w
+	out := s.segs[:0:0]
+	for _, g := range s.segs {
+		gEnd := g.x + g.w
+		if gEnd <= x+Eps || g.x >= end-Eps {
+			out = append(out, g)
+			continue
+		}
+		// Left remainder below the placement.
+		if g.x < x-Eps {
+			out = append(out, skySeg{x: g.x, w: x - g.x, y: g.y})
+		}
+		// Right remainder.
+		if gEnd > end+Eps {
+			out = append(out, skySeg{x: end, w: gEnd - end, y: g.y})
+		}
+	}
+	out = append(out, skySeg{x: x, w: w, y: top})
+	// Re-sort by x and merge equal-height neighbours.
+	s.segs = normalizeSegs(out)
+}
+
+func normalizeSegs(segs []skySeg) []skySeg {
+	// Insertion sort: segments are nearly sorted already and counts are small.
+	for i := 1; i < len(segs); i++ {
+		for j := i; j > 0 && segs[j].x < segs[j-1].x; j-- {
+			segs[j], segs[j-1] = segs[j-1], segs[j]
+		}
+	}
+	out := segs[:0]
+	for _, g := range segs {
+		if g.w <= Eps {
+			continue
+		}
+		if n := len(out); n > 0 && math.Abs(out[n-1].y-g.y) <= Eps && math.Abs(out[n-1].x+out[n-1].w-g.x) <= Eps {
+			out[n-1].w += g.w
+			continue
+		}
+		out = append(out, g)
+	}
+	return out
+}
+
+// WastedArea returns the area trapped below the current contour that is not
+// covered by placed rectangles, given the total placed area. It equals
+// integral(contour) - placedArea and is useful as a fragmentation metric.
+func (s *Skyline) WastedArea(placedArea float64) float64 {
+	var integral float64
+	for _, g := range s.segs {
+		integral += g.w * g.y
+	}
+	return integral - placedArea
+}
+
+// String renders the contour compactly for debugging.
+func (s *Skyline) String() string {
+	var b strings.Builder
+	for i, g := range s.segs {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		fmt.Fprintf(&b, "[%.3g,%.3g)@%.3g", g.x, g.x+g.w, g.y)
+	}
+	return b.String()
+}

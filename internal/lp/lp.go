@@ -1,0 +1,365 @@
+// Package lp implements a dense two-phase primal simplex solver for linear
+// programs in the form
+//
+//	minimize  c·x
+//	subject to  A_i·x (<=|>=|=) b_i,   x >= 0.
+//
+// It is used by the release-time APTAS to solve the configuration LP of
+// Lemma 3.3. Simplex returns a *basic* optimal solution, which is exactly
+// what the APTAS needs: a basic optimum has at most as many nonzero
+// variables as constraints, giving the (W+1)(R+1) bound on distinct
+// configuration occurrences.
+//
+// The float64 solver uses Bland's rule (no cycling) with an absolute
+// tolerance. An exact big.Rat solver with the same semantics is provided for
+// cross-validation on small programs.
+package lp
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Relation is a constraint sense.
+type Relation int
+
+// Constraint senses.
+const (
+	LE Relation = iota // A·x <= b
+	GE                 // A·x >= b
+	EQ                 // A·x == b
+)
+
+func (r Relation) String() string {
+	switch r {
+	case LE:
+		return "<="
+	case GE:
+		return ">="
+	case EQ:
+		return "=="
+	}
+	return "?"
+}
+
+// Constraint is one row of the program.
+type Constraint struct {
+	Coeffs []float64
+	Op     Relation
+	RHS    float64
+}
+
+// Problem is a linear program over NumVars non-negative variables.
+type Problem struct {
+	NumVars     int
+	Objective   []float64 // length NumVars; minimized
+	Constraints []Constraint
+}
+
+// NewProblem allocates a program with a zero objective.
+func NewProblem(numVars int) *Problem {
+	return &Problem{NumVars: numVars, Objective: make([]float64, numVars)}
+}
+
+// AddConstraint appends a row; coeffs is copied.
+func (p *Problem) AddConstraint(coeffs []float64, op Relation, rhs float64) error {
+	if len(coeffs) != p.NumVars {
+		return fmt.Errorf("lp: constraint has %d coefficients, want %d", len(coeffs), p.NumVars)
+	}
+	c := Constraint{Coeffs: append([]float64(nil), coeffs...), Op: op, RHS: rhs}
+	p.Constraints = append(p.Constraints, c)
+	return nil
+}
+
+// Status reports the outcome of Solve.
+type Status int
+
+// Solver outcomes.
+const (
+	Optimal Status = iota
+	Infeasible
+	Unbounded
+)
+
+func (s Status) String() string {
+	switch s {
+	case Optimal:
+		return "optimal"
+	case Infeasible:
+		return "infeasible"
+	case Unbounded:
+		return "unbounded"
+	}
+	return "?"
+}
+
+// Solution is the result of Solve.
+type Solution struct {
+	Status    Status
+	X         []float64 // primal values, length NumVars (nil unless Optimal)
+	Objective float64   // c·X (0 unless Optimal)
+	// BasicCount is the number of structural variables that are strictly
+	// positive in the returned basic solution.
+	BasicCount int
+	// Iterations counts simplex pivots across both phases.
+	Iterations int
+}
+
+// tol is the feasibility/optimality tolerance of the float64 solver.
+const tol = 1e-9
+
+// ErrNumerical reports that the solver lost too much precision to certify a
+// result.
+var ErrNumerical = errors.New("lp: numerical failure")
+
+// maxPivots bounds total pivots as a safety net; Bland's rule precludes
+// cycling so this only guards against pathological degeneracy blowup.
+func maxPivots(rows, cols int) int {
+	p := 2000 + 50*(rows+cols)
+	return p
+}
+
+// Solve runs two-phase simplex and returns a basic optimal solution, or a
+// Solution with Status Infeasible/Unbounded.
+func Solve(p *Problem) (*Solution, error) {
+	if len(p.Objective) != p.NumVars {
+		return nil, fmt.Errorf("lp: objective has %d entries, want %d", len(p.Objective), p.NumVars)
+	}
+	m := len(p.Constraints)
+	n := p.NumVars
+
+	// Column layout: [structural n][slack/surplus s][artificial a].
+	nSlack := 0
+	for _, c := range p.Constraints {
+		if c.Op != EQ {
+			nSlack++
+		}
+	}
+	// Artificials are added per row lazily below; at most one per row.
+	total := n + nSlack + m
+	cols := total + 1 // + RHS column
+	t := make([][]float64, m)
+	basis := make([]int, m)
+	artCol := n + nSlack // first artificial column
+	nArt := 0
+	slackIdx := n
+	for i, c := range p.Constraints {
+		row := make([]float64, cols)
+		copy(row, c.Coeffs)
+		rhs := c.RHS
+		op := c.Op
+		if rhs < 0 {
+			for j := 0; j < n; j++ {
+				row[j] = -row[j]
+			}
+			rhs = -rhs
+			switch op {
+			case LE:
+				op = GE
+			case GE:
+				op = LE
+			}
+		}
+		switch op {
+		case LE:
+			row[slackIdx] = 1
+			basis[i] = slackIdx
+			slackIdx++
+		case GE:
+			row[slackIdx] = -1
+			slackIdx++
+			row[artCol+nArt] = 1
+			basis[i] = artCol + nArt
+			nArt++
+		case EQ:
+			row[artCol+nArt] = 1
+			basis[i] = artCol + nArt
+			nArt++
+		}
+		row[cols-1] = rhs
+		t[i] = row
+	}
+	usedCols := n + nSlack + nArt
+	sol := &Solution{}
+
+	// Phase 1: minimize the sum of artificials.
+	if nArt > 0 {
+		obj := make([]float64, usedCols)
+		for j := artCol; j < artCol+nArt; j++ {
+			obj[j] = 1
+		}
+		status, err := simplex(t, basis, obj, usedCols, sol)
+		if err != nil {
+			return nil, err
+		}
+		if status == Unbounded {
+			return nil, fmt.Errorf("%w: phase 1 unbounded", ErrNumerical)
+		}
+		// Phase-1 optimum must be ~0 for feasibility.
+		var p1 float64
+		for i, b := range basis {
+			if b >= artCol {
+				p1 += t[i][len(t[i])-1]
+			}
+		}
+		if p1 > 1e-7 {
+			sol.Status = Infeasible
+			return sol, nil
+		}
+		// Drive any basic artificial (at value 0) out of the basis, or drop
+		// its (redundant) row.
+		for i := 0; i < len(t); i++ {
+			if basis[i] < artCol {
+				continue
+			}
+			pivoted := false
+			for j := 0; j < artCol; j++ {
+				if math.Abs(t[i][j]) > tol {
+					pivot(t, basis, i, j)
+					pivoted = true
+					break
+				}
+			}
+			if !pivoted {
+				// Redundant row: remove it.
+				t = append(t[:i], t[i+1:]...)
+				basis = append(basis[:i], basis[i+1:]...)
+				i--
+			}
+		}
+		// Zero out artificial columns so they can never re-enter.
+		for i := range t {
+			for j := artCol; j < artCol+nArt; j++ {
+				t[i][j] = 0
+			}
+		}
+		usedCols = artCol
+	}
+
+	// Phase 2: minimize the real objective.
+	obj := make([]float64, usedCols)
+	copy(obj, p.Objective)
+	status, err := simplex(t, basis, obj, usedCols, sol)
+	if err != nil {
+		return nil, err
+	}
+	if status == Unbounded {
+		sol.Status = Unbounded
+		return sol, nil
+	}
+	sol.Status = Optimal
+	sol.X = make([]float64, n)
+	for i, b := range basis {
+		if b < n {
+			v := t[i][len(t[i])-1]
+			if v < 0 && v > -1e-7 {
+				v = 0
+			}
+			sol.X[b] = v
+		}
+	}
+	for j := 0; j < n; j++ {
+		if sol.X[j] > tol {
+			sol.BasicCount++
+		}
+		sol.Objective += p.Objective[j] * sol.X[j]
+	}
+	return sol, nil
+}
+
+// simplex runs primal simplex on the tableau with the given objective over
+// columns [0, usedCols), using Bland's rule. The tableau rows are already a
+// basic feasible solution identified by basis.
+func simplex(t [][]float64, basis []int, obj []float64, usedCols int, sol *Solution) (Status, error) {
+	m := len(t)
+	if m == 0 {
+		return Optimal, nil
+	}
+	cols := len(t[0])
+	// Reduced costs: z_j - c_j computed from scratch each iteration would be
+	// O(m) per column; instead maintain the objective row explicitly.
+	z := make([]float64, cols)
+	copy(z, obj)
+	// Make reduced costs consistent with current basis: subtract basic rows.
+	for i, b := range basis {
+		cb := 0.0
+		if b < len(obj) {
+			cb = obj[b]
+		}
+		if cb != 0 {
+			for j := 0; j < cols; j++ {
+				z[j] -= cb * t[i][j]
+			}
+		}
+	}
+	limit := maxPivots(m, usedCols)
+	for iter := 0; ; iter++ {
+		if iter > limit {
+			return 0, fmt.Errorf("%w: pivot limit %d exceeded", ErrNumerical, limit)
+		}
+		// Bland: entering column = smallest index with negative reduced cost.
+		enter := -1
+		for j := 0; j < usedCols; j++ {
+			if z[j] < -tol {
+				enter = j
+				break
+			}
+		}
+		if enter == -1 {
+			return Optimal, nil
+		}
+		// Ratio test, Bland tie-break on smallest basis index.
+		leave := -1
+		var best float64
+		for i := 0; i < m; i++ {
+			a := t[i][enter]
+			if a <= tol {
+				continue
+			}
+			ratio := t[i][cols-1] / a
+			if leave == -1 || ratio < best-tol ||
+				(ratio < best+tol && basis[i] < basis[leave]) {
+				leave = i
+				best = ratio
+			}
+		}
+		if leave == -1 {
+			return Unbounded, nil
+		}
+		pivot(t, basis, leave, enter)
+		// Update objective row.
+		factor := z[enter]
+		if factor != 0 {
+			for j := 0; j < cols; j++ {
+				z[j] -= factor * t[leave][j]
+			}
+		}
+		z[enter] = 0
+		sol.Iterations++
+	}
+}
+
+// pivot performs a Gauss-Jordan pivot at (row, col) and updates the basis.
+func pivot(t [][]float64, basis []int, row, col int) {
+	cols := len(t[row])
+	p := t[row][col]
+	for j := 0; j < cols; j++ {
+		t[row][j] /= p
+	}
+	t[row][col] = 1
+	for i := range t {
+		if i == row {
+			continue
+		}
+		f := t[i][col]
+		if f == 0 {
+			continue
+		}
+		for j := 0; j < cols; j++ {
+			t[i][j] -= f * t[row][j]
+		}
+		t[i][col] = 0
+	}
+	basis[row] = col
+}
