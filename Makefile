@@ -1,0 +1,47 @@
+# CI entry points for the strippack reproduction. `make ci` is what a
+# pipeline should run; the individual targets mirror the tier-1 check
+# (`go build ./... && go test ./...`) plus vet and a benchmark smoke pass.
+
+GO ?= go
+
+.PHONY: all build test vet ci bench-smoke bench-record fuzz determinism
+
+all: ci
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+ci: build vet test determinism
+
+# One iteration of every benchmark: catches bit-rot in the bench harness
+# without the cost of a full measurement run.
+bench-smoke:
+	$(GO) test -run=NONE -bench=. -benchmem -benchtime=1x .
+
+# Full measurement run recorded as JSON (see cmd/benchjson). Bump the
+# output name when recording a new trajectory point:
+#   make bench-record BENCH_OUT=BENCH_2.json
+BENCH_OUT ?= BENCH_1.json
+bench-record:
+	$(GO) run ./cmd/benchjson -out $(BENCH_OUT) -bench . -benchtime 2s
+
+# Property-based fuzzing of the skyline hot path.
+fuzz:
+	$(GO) test ./internal/geom -fuzz FuzzSkylinePlace -fuzztime 30s
+
+# The parallel engine's determinism contract: experiment tables must be
+# byte-identical regardless of worker count. Runs in a private temp dir so
+# concurrent invocations on a shared host cannot clobber each other.
+determinism:
+	@dir=$$(mktemp -d) && trap 'rm -rf "$$dir"' EXIT && \
+	$(GO) build -o $$dir/experiments ./cmd/experiments && \
+	$$dir/experiments -parallel 1 > $$dir/tables-p1.txt && \
+	$$dir/experiments -parallel 8 > $$dir/tables-p8.txt && \
+	cmp $$dir/tables-p1.txt $$dir/tables-p8.txt && \
+	echo "determinism: tables byte-identical across worker counts"

@@ -24,12 +24,27 @@ import (
 	"strippack/internal/workload"
 )
 
+// benchExperiment measures an experiment on the default worker pool
+// (GOMAXPROCS workers); benchExperimentSerial pins the pool to one worker,
+// so the pair quantifies the parallel engine's speedup on the same tables.
 func benchExperiment(b *testing.B, id string) {
+	benchExperimentWorkers(b, id, experiments.Parallelism)
+}
+
+func benchExperimentSerial(b *testing.B, id string) {
+	benchExperimentWorkers(b, id, 1)
+}
+
+func benchExperimentWorkers(b *testing.B, id string, workers int) {
 	e, ok := experiments.Lookup(id)
 	if !ok {
 		b.Fatalf("experiment %s missing", id)
 	}
+	prev := experiments.Parallelism
+	experiments.Parallelism = workers
+	defer func() { experiments.Parallelism = prev }()
 	b.ReportAllocs()
+	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if err := e.Run(io.Discard); err != nil {
 			b.Fatal(err)
@@ -51,6 +66,14 @@ func BenchmarkE10Grouping(b *testing.B) {
 }
 func BenchmarkE11KR(b *testing.B)     { benchExperiment(b, "E11") }
 func BenchmarkE12Online(b *testing.B) { benchExperiment(b, "E12") }
+
+// Serial counterparts of the heaviest experiment tables: the ratio to the
+// parallel benchmarks above is the worker-pool speedup.
+func BenchmarkE1DCSerial(b *testing.B)    { benchExperimentSerial(b, "E1") }
+func BenchmarkE6APTASSerial(b *testing.B) { benchExperimentSerial(b, "E6") }
+func BenchmarkE12OnlineSerial(b *testing.B) {
+	benchExperimentSerial(b, "E12")
+}
 
 // --- micro-benchmarks of the substrates ---
 

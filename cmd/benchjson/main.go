@@ -1,0 +1,126 @@
+// Command benchjson runs the repository benchmarks (the E1–E12 experiment
+// tables plus the substrate micro-benchmarks in bench_test.go) and records
+// ns/op, B/op and allocs/op per benchmark as JSON, so the performance
+// trajectory of the repo is tracked in versioned artifacts (BENCH_1.json,
+// BENCH_2.json, ...).
+//
+// Usage:
+//
+//	benchjson -out BENCH_1.json                  # record everything, 1 iteration
+//	benchjson -bench 'BenchmarkBottomLeft' -benchtime 3s -out /tmp/bl.json
+//
+// It shells out to `go test -bench` in the module root, so it needs the go
+// toolchain on PATH — the same requirement as the tier-1 check itself.
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"regexp"
+	"strconv"
+	"time"
+)
+
+// Result is one benchmark measurement.
+type Result struct {
+	Name        string  `json:"name"`
+	Iterations  int     `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  float64 `json:"bytes_per_op"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+}
+
+// Record is the file format: run metadata plus the measurements.
+type Record struct {
+	GeneratedAt string   `json:"generated_at"`
+	GoVersion   string   `json:"go_version"`
+	Bench       string   `json:"bench"`
+	Benchtime   string   `json:"benchtime"`
+	Count       int      `json:"count"`
+	Results     []Result `json:"results"`
+}
+
+// benchLine matches `BenchmarkFoo-8   123   456.7 ns/op   89 B/op   10 allocs/op`
+// (the -N GOMAXPROCS suffix and the two -benchmem columns are optional).
+var benchLine = regexp.MustCompile(
+	`^(Benchmark\S+?)(?:-\d+)?\s+(\d+)\s+([\d.]+) ns/op(?:\s+([\d.]+) B/op\s+([\d.]+) allocs/op)?`)
+
+func main() {
+	out := flag.String("out", "BENCH_1.json", "output JSON path")
+	bench := flag.String("bench", ".", "benchmark regex passed to go test -bench")
+	benchtime := flag.String("benchtime", "1x", "go test -benchtime value")
+	count := flag.Int("count", 1, "go test -count value")
+	dir := flag.String("dir", ".", "module root to run go test in")
+	flag.Parse()
+
+	cmd := exec.Command("go", "test", "-run=NONE",
+		"-bench="+*bench, "-benchmem", "-benchtime="+*benchtime,
+		fmt.Sprintf("-count=%d", *count), ".")
+	cmd.Dir = *dir
+	raw, err := cmd.Output()
+	if err != nil {
+		var ee *exec.ExitError
+		if errors.As(err, &ee) {
+			fmt.Fprintf(os.Stderr, "benchjson: go test failed:\n%s%s", raw, ee.Stderr)
+		} else {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+		}
+		os.Exit(1)
+	}
+
+	rec := Record{
+		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
+		GoVersion:   goVersion(*dir),
+		Bench:       *bench,
+		Benchtime:   *benchtime,
+		Count:       *count,
+	}
+	sc := bufio.NewScanner(bytes.NewReader(raw))
+	for sc.Scan() {
+		m := benchLine.FindStringSubmatch(sc.Text())
+		if m == nil {
+			continue
+		}
+		r := Result{Name: m[1]}
+		r.Iterations, _ = strconv.Atoi(m[2])
+		r.NsPerOp, _ = strconv.ParseFloat(m[3], 64)
+		if m[4] != "" {
+			r.BytesPerOp, _ = strconv.ParseFloat(m[4], 64)
+			r.AllocsPerOp, _ = strconv.ParseFloat(m[5], 64)
+		}
+		rec.Results = append(rec.Results, r)
+	}
+	if len(rec.Results) == 0 {
+		fmt.Fprintln(os.Stderr, "benchjson: no benchmark lines in go test output")
+		os.Exit(1)
+	}
+	blob, err := json.MarshalIndent(rec, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	blob = append(blob, '\n')
+	if err := os.WriteFile(*out, blob, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("benchjson: wrote %d results to %s\n", len(rec.Results), *out)
+}
+
+// goVersion reports the toolchain as resolved from dir, the same directory
+// the benchmarks run in, so module toolchain directives are honoured.
+func goVersion(dir string) string {
+	cmd := exec.Command("go", "version")
+	cmd.Dir = dir
+	out, err := cmd.Output()
+	if err != nil {
+		return "unknown"
+	}
+	return string(bytes.TrimSpace(out))
+}

@@ -2,24 +2,36 @@
 // measurable counterparts of the paper's theorems, lemma constructions and
 // figures — see DESIGN.md for the index).
 //
+// Trials fan out across a worker pool; tables are byte-identical for every
+// -parallel value, so the flag only trades wall-clock time for cores.
+//
 // Usage:
 //
-//	experiments            # run all of E1..E10
-//	experiments E2 E4      # run a subset
-//	experiments -list      # list experiments
+//	experiments             # run all of E1..E12 on GOMAXPROCS workers
+//	experiments E2 E4       # run a subset
+//	experiments -parallel 1 # single-threaded (same output, slower)
+//	experiments -list       # list experiments
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 
 	"strippack/internal/experiments"
 )
 
 func main() {
 	list := flag.Bool("list", false, "list experiment IDs and titles")
+	parallel := flag.Int("parallel", runtime.GOMAXPROCS(0),
+		"worker-pool width for trial fan-out (>=1; results are identical for any value)")
 	flag.Parse()
+	if *parallel < 1 {
+		fmt.Fprintln(os.Stderr, "experiments: -parallel must be >= 1")
+		os.Exit(2)
+	}
+	experiments.Parallelism = *parallel
 	if *list {
 		for _, e := range experiments.All() {
 			fmt.Printf("%-4s %s\n", e.ID, e.Title)

@@ -1,0 +1,3 @@
+module strippack
+
+go 1.24

@@ -3,7 +3,7 @@ package release
 import (
 	"fmt"
 	"math"
-	"sort"
+	"slices"
 
 	"strippack/internal/geom"
 )
@@ -139,12 +139,20 @@ func GreedyShelf(in *geom.Instance) (*geom.Packing, error) {
 	for i := range order {
 		order[i] = i
 	}
-	sort.SliceStable(order, func(a, b int) bool {
-		ra, rb := in.Rects[order[a]], in.Rects[order[b]]
-		if ra.Release != rb.Release {
-			return ra.Release < rb.Release
+	slices.SortFunc(order, func(a, b int) int {
+		ra, rb := in.Rects[a], in.Rects[b]
+		switch {
+		case ra.Release < rb.Release:
+			return -1
+		case ra.Release > rb.Release:
+			return 1
+		case ra.H > rb.H:
+			return -1
+		case ra.H < rb.H:
+			return 1
+		default:
+			return a - b
 		}
-		return ra.H > rb.H
 	})
 	w := in.StripWidth()
 	shelfY, shelfH, x := 0.0, 0.0, 0.0
@@ -177,8 +185,16 @@ func GreedySkyline(in *geom.Instance) (*geom.Packing, error) {
 	for i := range order {
 		order[i] = i
 	}
-	sort.SliceStable(order, func(a, b int) bool {
-		return in.Rects[order[a]].Release < in.Rects[order[b]].Release
+	// Index tie-break keeps the sort stable without reflection overhead.
+	slices.SortFunc(order, func(a, b int) int {
+		switch {
+		case in.Rects[a].Release < in.Rects[b].Release:
+			return -1
+		case in.Rects[a].Release > in.Rects[b].Release:
+			return 1
+		default:
+			return a - b
+		}
 	})
 	sky := geom.NewSkyline(in.StripWidth())
 	for _, id := range order {

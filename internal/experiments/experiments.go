@@ -3,6 +3,11 @@
 // measurable table (E1-E10, indexed in DESIGN.md). cmd/experiments prints
 // them; bench_test.go wraps them as benchmarks; EXPERIMENTS.md records the
 // measured outcomes next to the paper's claims.
+//
+// Every experiment declares its trial grid (rows x repetitions) as data and
+// fans the trials out through RunGrid's shared worker pool. Tables are
+// byte-identical for any Parallelism >= 1 (see the determinism contract in
+// runner.go), so -parallel only changes wall-clock time, never results.
 package experiments
 
 import (
@@ -10,8 +15,6 @@ import (
 	"io"
 	"math"
 	"math/rand"
-	"sort"
-	"time"
 
 	"strippack/internal/binpack"
 	"strippack/internal/core/precedence"
@@ -41,7 +44,7 @@ func All() []Experiment {
 		{"E4", "Lemma 2.7 / Fig. 2: ratio of the construction approaches 3", E4},
 		{"E5", "Section 2.2 (GGJY): precedence bin packing heuristics vs exact", E5},
 		{"E6", "Theorem 3.5: APTAS height vs fractional bound, epsilon sweep", E6},
-		{"E7", "Section 3: configuration-LP size and time, exponential in K", E7},
+		{"E7", "Section 3: configuration-LP size, exponential in K", E7},
 		{"E8", "Lemmas 3.1/3.2: measured rounding and grouping overhead", E8},
 		{"E9", "Ablation: DC subroutine A and split fraction", E9},
 		{"E10", "Figs. 3/4: stacking containment chain of the grouping step", E10},
@@ -62,31 +65,57 @@ func Lookup(id string) (Experiment, bool) {
 
 const seeds = 5
 
+// Per-experiment base seeds for RunGrid (trial seed = base ^ trialIndex).
+const (
+	seedE1  int64 = 0xAB1<<8 | 0xE1
+	seedE3  int64 = 0xAB1<<8 | 0xE3
+	seedE5  int64 = 0xAB1<<8 | 0xE5
+	seedE6  int64 = 0xAB1<<8 | 0xE6
+	seedE7  int64 = 0xAB1<<8 | 0xE7
+	seedE8  int64 = 0xAB1<<8 | 0xE8
+	seedE9  int64 = 0xAB1<<8 | 0xE9
+	seedE10 int64 = 0xAB1<<8 | 0x10
+	seedE11 int64 = 0xAB1<<8 | 0x11
+	seedE12 int64 = 0xAB1<<8 | 0x12
+)
+
 // E1 measures DC height against the best simple lower bound on random
 // layered DAG workloads as n grows; the paper guarantees a ratio of at most
 // 2 + log2(n+1), and the measured ratio should grow far more slowly.
 func E1(w io.Writer) error {
+	ns := []int{16, 64, 256, 1024, 4096}
+	type res struct {
+		ratio float64
+		calls int
+	}
+	rows, err := RunGrid(len(ns), seeds, seedE1, func(t Trial, rng *rand.Rand) (res, error) {
+		n := ns[t.Row]
+		layers := int(math.Max(2, math.Sqrt(float64(n))/2))
+		in := workload.DAGWorkload(rng, n, layers, 0.2)
+		p, st, err := precedence.DC(in, nil)
+		if err != nil {
+			return res{}, err
+		}
+		if err := p.Validate(); err != nil {
+			return res{}, fmt.Errorf("E1 n=%d: %w", n, err)
+		}
+		lb, err := precedence.LowerBound(in)
+		if err != nil {
+			return res{}, err
+		}
+		return res{ratio: p.Height() / lb, calls: st.Calls}, nil
+	})
+	if err != nil {
+		return err
+	}
 	t := &stats.Table{Header: []string{"n", "layers", "DC/LB mean", "DC/LB max", "2+log2(n+1)", "calls"}}
-	for _, n := range []int{16, 64, 256, 1024, 4096} {
+	for i, n := range ns {
 		layers := int(math.Max(2, math.Sqrt(float64(n))/2))
 		var ratios []float64
 		calls := 0
-		for s := 0; s < seeds; s++ {
-			rng := rand.New(rand.NewSource(int64(100*n + s)))
-			in := workload.DAGWorkload(rng, n, layers, 0.2)
-			p, st, err := precedence.DC(in, nil)
-			if err != nil {
-				return err
-			}
-			if err := p.Validate(); err != nil {
-				return fmt.Errorf("E1 n=%d: %w", n, err)
-			}
-			lb, err := precedence.LowerBound(in)
-			if err != nil {
-				return err
-			}
-			ratios = append(ratios, p.Height()/lb)
-			calls += st.Calls
+		for _, r := range rows[i] {
+			ratios = append(ratios, r.ratio)
+			calls += r.calls
 		}
 		sm := stats.Summarize(ratios)
 		t.Add(n, layers, sm.Mean, sm.Max, 2+math.Log2(float64(n+1)), calls/seeds)
@@ -98,27 +127,41 @@ func E1(w io.Writer) error {
 // E2 builds the Fig. 1 construction for growing k and reports the measured
 // gap between achievable height and the simple lower bounds: the analytic
 // OPT is ~k/2 while both bounds stay near 1, so the ratio grows linearly in
-// k = Theta(log n).
+// k = Theta(log n). The construction is deterministic, so the grid is one
+// trial per k with no repetitions.
 func E2(w io.Writer) error {
-	t := &stats.Table{Header: []string{"k", "n", "LB", "DC height", "analytic OPT", "DC/LB", "OPT/LB"}}
-	for k := 2; k <= 10; k++ {
+	ks := []int{2, 3, 4, 5, 6, 7, 8, 9, 10}
+	type res struct {
+		n          int
+		lb, height float64
+	}
+	rows, err := RunGrid(len(ks), 1, 0, func(t Trial, _ *rand.Rand) (res, error) {
+		k := ks[t.Row]
 		in, err := workload.Fig1(k, 1e-9)
 		if err != nil {
-			return err
+			return res{}, err
 		}
 		p, _, err := precedence.DC(in, nil)
 		if err != nil {
-			return err
+			return res{}, err
 		}
 		if err := p.Validate(); err != nil {
-			return fmt.Errorf("E2 k=%d: %w", k, err)
+			return res{}, fmt.Errorf("E2 k=%d: %w", k, err)
 		}
 		lb, err := precedence.LowerBound(in)
 		if err != nil {
-			return err
+			return res{}, err
 		}
+		return res{n: in.N(), lb: lb, height: p.Height()}, nil
+	})
+	if err != nil {
+		return err
+	}
+	t := &stats.Table{Header: []string{"k", "n", "LB", "DC height", "analytic OPT", "DC/LB", "OPT/LB"}}
+	for i, k := range ks {
+		r := rows[i][0]
 		opt := workload.Fig1OPT(k, 1e-9)
-		t.Add(k, in.N(), lb, p.Height(), opt, p.Height()/lb, opt/lb)
+		t.Add(k, r.n, r.lb, r.height, opt, r.height/r.lb, opt/r.lb)
 	}
 	t.Render(w)
 	return nil
@@ -128,48 +171,69 @@ func E2(w io.Writer) error {
 // precedence bin packing optimum on small random instances; Theorem 2.6
 // bounds Next-Fit by 3*OPT and Lemma 2.5 bounds skips by OPT.
 func E3(w io.Writer) error {
-	t := &stats.Table{Header: []string{"n", "p(edge)", "NF/OPT", "FF/OPT", "LFFD/OPT", "max NF/OPT", "skips<=OPT"}}
+	type cell struct {
+		n int
+		p float64
+	}
+	var grid []cell
 	for _, n := range []int{6, 8, 10, 12} {
 		for _, p := range []float64{0.15, 0.4} {
-			var rNF, rFF, rLF []float64
-			okSkips := true
-			for s := 0; s < seeds*2; s++ {
-				rng := rand.New(rand.NewSource(int64(1000*n + int(p*100) + s)))
-				in := workload.UniformHeightDAG(rng, n, p)
-				g, err := dag.FromEdges(in.N(), in.Prec)
-				if err != nil {
-					return err
-				}
-				sizes := make([]float64, in.N())
-				for i, r := range in.Rects {
-					sizes[i] = r.W
-				}
-				opt, err := binpack.ExactPrec(sizes, g, 12)
-				if err != nil {
-					return err
-				}
-				nf, err := binpack.PrecNextFit(sizes, g)
-				if err != nil {
-					return err
-				}
-				ff, err := binpack.PrecFirstFit(sizes, g)
-				if err != nil {
-					return err
-				}
-				lf, err := binpack.LevelFFD(sizes, g)
-				if err != nil {
-					return err
-				}
-				rNF = append(rNF, float64(nf.NumBins)/float64(opt))
-				rFF = append(rFF, float64(ff.NumBins)/float64(opt))
-				rLF = append(rLF, float64(lf.NumBins)/float64(opt))
-				if nf.Skips > opt {
-					okSkips = false
-				}
-			}
-			t.Add(n, p, stats.Summarize(rNF).Mean, stats.Summarize(rFF).Mean,
-				stats.Summarize(rLF).Mean, stats.Summarize(rNF).Max, okSkips)
+			grid = append(grid, cell{n, p})
 		}
+	}
+	type res struct {
+		nf, ff, lf float64
+		okSkip     bool
+	}
+	rows, err := RunGrid(len(grid), seeds*2, seedE3, func(t Trial, rng *rand.Rand) (res, error) {
+		c := grid[t.Row]
+		in := workload.UniformHeightDAG(rng, c.n, c.p)
+		g, err := dag.FromEdges(in.N(), in.Prec)
+		if err != nil {
+			return res{}, err
+		}
+		sizes := make([]float64, in.N())
+		for i, r := range in.Rects {
+			sizes[i] = r.W
+		}
+		opt, err := binpack.ExactPrec(sizes, g, 12)
+		if err != nil {
+			return res{}, err
+		}
+		nf, err := binpack.PrecNextFit(sizes, g)
+		if err != nil {
+			return res{}, err
+		}
+		ff, err := binpack.PrecFirstFit(sizes, g)
+		if err != nil {
+			return res{}, err
+		}
+		lf, err := binpack.LevelFFD(sizes, g)
+		if err != nil {
+			return res{}, err
+		}
+		return res{
+			nf:     float64(nf.NumBins) / float64(opt),
+			ff:     float64(ff.NumBins) / float64(opt),
+			lf:     float64(lf.NumBins) / float64(opt),
+			okSkip: nf.Skips <= opt,
+		}, nil
+	})
+	if err != nil {
+		return err
+	}
+	t := &stats.Table{Header: []string{"n", "p(edge)", "NF/OPT", "FF/OPT", "LFFD/OPT", "max NF/OPT", "skips<=OPT"}}
+	for i, c := range grid {
+		var rNF, rFF, rLF []float64
+		okSkips := true
+		for _, r := range rows[i] {
+			rNF = append(rNF, r.nf)
+			rFF = append(rFF, r.ff)
+			rLF = append(rLF, r.lf)
+			okSkips = okSkips && r.okSkip
+		}
+		t.Add(c.n, c.p, stats.Summarize(rNF).Mean, stats.Summarize(rFF).Mean,
+			stats.Summarize(rLF).Mean, stats.Summarize(rNF).Max, okSkips)
 	}
 	t.Render(w)
 	return nil
@@ -177,27 +241,40 @@ func E3(w io.Writer) error {
 
 // E4 runs the paper's algorithm F on the Fig. 2 construction: the measured
 // height equals the analytic OPT = 3k while the lower bounds approach k, so
-// the certified ratio tends to 3 (Lemma 2.7).
+// the certified ratio tends to 3 (Lemma 2.7). Deterministic, one trial per k.
 func E4(w io.Writer) error {
-	t := &stats.Table{Header: []string{"k", "n", "eps", "F height", "OPT", "LB", "OPT/LB"}}
-	for _, k := range []int{2, 4, 8, 16, 32} {
+	ks := []int{2, 4, 8, 16, 32}
+	type res struct {
+		n          int
+		height, lb float64
+	}
+	rows, err := RunGrid(len(ks), 1, 0, func(t Trial, _ *rand.Rand) (res, error) {
+		k := ks[t.Row]
 		eps := 0.01 / float64(k)
 		in, err := workload.Fig2(k, eps)
 		if err != nil {
-			return err
+			return res{}, err
 		}
 		p, _, err := precedence.NextFitUniform(in)
 		if err != nil {
-			return err
+			return res{}, err
 		}
 		if err := p.Validate(); err != nil {
-			return fmt.Errorf("E4 k=%d: %w", k, err)
+			return res{}, fmt.Errorf("E4 k=%d: %w", k, err)
 		}
 		lb, err := precedence.LowerBound(in)
 		if err != nil {
-			return err
+			return res{}, err
 		}
-		t.Add(k, in.N(), eps, p.Height(), workload.Fig2OPT(k), lb, workload.Fig2OPT(k)/lb)
+		return res{n: in.N(), height: p.Height(), lb: lb}, nil
+	})
+	if err != nil {
+		return err
+	}
+	t := &stats.Table{Header: []string{"k", "n", "eps", "F height", "OPT", "LB", "OPT/LB"}}
+	for i, k := range ks {
+		r := rows[i][0]
+		t.Add(k, r.n, 0.01/float64(k), r.height, workload.Fig2OPT(k), r.lb, workload.Fig2OPT(k)/r.lb)
 	}
 	t.Render(w)
 	return nil
@@ -207,41 +284,56 @@ func E4(w io.Writer) error {
 // and against the chain/area lower bound on random DAGs with mixed densities
 // — the empirical counterpart of the GGJY asymptotic 2.7 discussion.
 func E5(w io.Writer) error {
+	ps := []float64{0.05, 0.15, 0.3, 0.6}
+	type res struct {
+		nf, ff, lf, lb float64
+	}
+	rows, err := RunGrid(len(ps), seeds*4, seedE5, func(t Trial, rng *rand.Rand) (res, error) {
+		p := ps[t.Row]
+		n := 6 + rng.Intn(6)
+		sizes := make([]float64, n)
+		for i := range sizes {
+			sizes[i] = 0.05 + 0.9*rng.Float64()
+		}
+		g := dag.RandomOrdered(rng, n, p)
+		opt, err := binpack.ExactPrec(sizes, g, 12)
+		if err != nil {
+			return res{}, err
+		}
+		nf, err := binpack.PrecNextFit(sizes, g)
+		if err != nil {
+			return res{}, err
+		}
+		ff, err := binpack.PrecFirstFit(sizes, g)
+		if err != nil {
+			return res{}, err
+		}
+		lf, err := binpack.LevelFFD(sizes, g)
+		if err != nil {
+			return res{}, err
+		}
+		lb, err := binpack.PrecLowerBound(sizes, g)
+		if err != nil {
+			return res{}, err
+		}
+		return res{
+			nf: float64(nf.NumBins) / float64(opt),
+			ff: float64(ff.NumBins) / float64(opt),
+			lf: float64(lf.NumBins) / float64(opt),
+			lb: float64(lb) / float64(opt),
+		}, nil
+	})
+	if err != nil {
+		return err
+	}
 	t := &stats.Table{Header: []string{"density", "NF/OPT", "FF/OPT", "LFFD/OPT", "NF max", "LB/OPT mean"}}
-	for _, p := range []float64{0.05, 0.15, 0.3, 0.6} {
+	for i, p := range ps {
 		var rNF, rFF, rLF, rLB []float64
-		for s := 0; s < seeds*4; s++ {
-			rng := rand.New(rand.NewSource(int64(7000 + int(p*1000) + s)))
-			n := 6 + rng.Intn(6)
-			sizes := make([]float64, n)
-			for i := range sizes {
-				sizes[i] = 0.05 + 0.9*rng.Float64()
-			}
-			g := dag.RandomOrdered(rng, n, p)
-			opt, err := binpack.ExactPrec(sizes, g, 12)
-			if err != nil {
-				return err
-			}
-			nf, err := binpack.PrecNextFit(sizes, g)
-			if err != nil {
-				return err
-			}
-			ff, err := binpack.PrecFirstFit(sizes, g)
-			if err != nil {
-				return err
-			}
-			lf, err := binpack.LevelFFD(sizes, g)
-			if err != nil {
-				return err
-			}
-			lb, err := binpack.PrecLowerBound(sizes, g)
-			if err != nil {
-				return err
-			}
-			rNF = append(rNF, float64(nf.NumBins)/float64(opt))
-			rFF = append(rFF, float64(ff.NumBins)/float64(opt))
-			rLF = append(rLF, float64(lf.NumBins)/float64(opt))
-			rLB = append(rLB, float64(lb)/float64(opt))
+		for _, r := range rows[i] {
+			rNF = append(rNF, r.nf)
+			rFF = append(rFF, r.ff)
+			rLF = append(rLF, r.lf)
+			rLB = append(rLB, r.lb)
 		}
 		t.Add(p, stats.Summarize(rNF).Mean, stats.Summarize(rFF).Mean,
 			stats.Summarize(rLF).Mean, stats.Summarize(rNF).Max, stats.Summarize(rLB).Mean)
@@ -255,69 +347,108 @@ func E5(w io.Writer) error {
 // must shrink toward 1 as epsilon decreases (modulo the additive term),
 // which is the observable shape of Theorem 3.5.
 func E6(w io.Writer) error {
-	t := &stats.Table{Header: []string{"n", "eps", "APTAS/OPTf", "greedy/OPTf", "shelf/OPTf", "additive", "occurrences"}}
-	K := 3
+	const K = 3
+	type cell struct {
+		n   int
+		eps float64
+	}
+	var grid []cell
 	for _, n := range []int{10, 20, 40} {
 		for _, eps := range []float64{3, 1.5, 0.75} {
-			var ra, rg, rs []float64
-			add, occ := 0.0, 0
-			for s := 0; s < seeds; s++ {
-				rng := rand.New(rand.NewSource(int64(9000 + 10*n + s)))
-				in := workload.FPGA(rng, n, K, 0.25*float64(n))
-				p, rep, err := release.Pack(in, release.Options{Epsilon: eps, K: K})
-				if err != nil {
-					return err
-				}
-				if err := p.Validate(); err != nil {
-					return fmt.Errorf("E6 n=%d eps=%g: %w", n, eps, err)
-				}
-				optf, err := release.FractionalLowerBound(in, 0)
-				if err != nil {
-					return err
-				}
-				g, err := release.GreedySkyline(in)
-				if err != nil {
-					return err
-				}
-				sh, err := release.GreedyShelf(in)
-				if err != nil {
-					return err
-				}
-				ra = append(ra, p.Height()/optf)
-				rg = append(rg, g.Height()/optf)
-				rs = append(rs, sh.Height()/optf)
-				add = rep.AdditiveBound
-				occ += rep.Occurrences
-			}
-			t.Add(n, eps, stats.Summarize(ra).Mean, stats.Summarize(rg).Mean,
-				stats.Summarize(rs).Mean, add, occ/seeds)
+			grid = append(grid, cell{n, eps})
 		}
+	}
+	type res struct {
+		ra, rg, rs, add float64
+		occ             int
+	}
+	rows, err := RunGrid(len(grid), seeds, seedE6, func(t Trial, rng *rand.Rand) (res, error) {
+		c := grid[t.Row]
+		in := workload.FPGA(rng, c.n, K, 0.25*float64(c.n))
+		p, rep, err := release.Pack(in, release.Options{Epsilon: c.eps, K: K})
+		if err != nil {
+			return res{}, err
+		}
+		if err := p.Validate(); err != nil {
+			return res{}, fmt.Errorf("E6 n=%d eps=%g: %w", c.n, c.eps, err)
+		}
+		optf, err := release.FractionalLowerBound(in, 0)
+		if err != nil {
+			return res{}, err
+		}
+		g, err := release.GreedySkyline(in)
+		if err != nil {
+			return res{}, err
+		}
+		sh, err := release.GreedyShelf(in)
+		if err != nil {
+			return res{}, err
+		}
+		return res{
+			ra:  p.Height() / optf,
+			rg:  g.Height() / optf,
+			rs:  sh.Height() / optf,
+			add: rep.AdditiveBound,
+			occ: rep.Occurrences,
+		}, nil
+	})
+	if err != nil {
+		return err
+	}
+	t := &stats.Table{Header: []string{"n", "eps", "APTAS/OPTf", "greedy/OPTf", "shelf/OPTf", "additive", "occurrences"}}
+	for i, c := range grid {
+		var ra, rg, rs []float64
+		add, occ := 0.0, 0
+		for _, r := range rows[i] {
+			ra = append(ra, r.ra)
+			rg = append(rg, r.rg)
+			rs = append(rs, r.rs)
+			add = r.add
+			occ += r.occ
+		}
+		t.Add(c.n, c.eps, stats.Summarize(ra).Mean, stats.Summarize(rg).Mean,
+			stats.Summarize(rs).Mean, add, occ/seeds)
 	}
 	t.Render(w)
 	return nil
 }
 
-// E7 reports the configuration-LP size and solve time as K grows with the
-// instance held fixed otherwise: configurations (and hence variables) grow
-// exponentially in K, matching the paper's running-time discussion, while
-// everything stays polynomial in n.
+// E7 reports the configuration-LP size as K grows with the instance held
+// fixed otherwise: configurations (and hence variables) grow exponentially
+// in K, matching the paper's running-time discussion, while everything
+// stays polynomial in n. Wall-clock timing lives in the benchmark harness
+// (cmd/benchjson), not here, so the table is deterministic.
 func E7(w io.Writer) error {
-	t := &stats.Table{Header: []string{"K", "widths", "configs", "LP vars", "LP rows", "pivots", "solve ms"}}
-	for _, K := range []int{2, 3, 4, 5, 6} {
-		rng := rand.New(rand.NewSource(int64(40 + K)))
+	Ks := []int{2, 3, 4, 5, 6}
+	type res struct {
+		widths, configs, vars, rows, pivots int
+	}
+	rows, err := RunGrid(len(Ks), 1, seedE7, func(t Trial, rng *rand.Rand) (res, error) {
+		K := Ks[t.Row]
 		in := workload.FPGA(rng, 24, K, 3)
 		m, err := release.BuildModel(in, 1<<22)
 		if err != nil {
-			return err
+			return res{}, err
 		}
-		start := time.Now()
 		fs, err := release.SolveModel(m, false)
 		if err != nil {
-			return err
+			return res{}, err
 		}
-		ms := float64(time.Since(start).Microseconds()) / 1000
-		t.Add(K, len(m.Widths), len(m.Configs), m.Problem.NumVars,
-			len(m.Problem.Constraints), fs.Iterations, ms)
+		return res{
+			widths:  len(m.Widths),
+			configs: len(m.Configs),
+			vars:    m.Problem.NumVars,
+			rows:    len(m.Problem.Constraints),
+			pivots:  fs.Iterations,
+		}, nil
+	})
+	if err != nil {
+		return err
+	}
+	t := &stats.Table{Header: []string{"K", "widths", "configs", "LP vars", "LP rows", "pivots"}}
+	for i, K := range Ks {
+		r := rows[i][0]
+		t.Add(K, r.widths, r.configs, r.vars, r.rows, r.pivots)
 	}
 	t.Render(w)
 	return nil
@@ -327,37 +458,48 @@ func E7(w io.Writer) error {
 // optimum of P(R) over P (Lemma 3.1 bounds it by 1+1/R) and of P(R,W) over
 // P(R) (Lemma 3.2 bounds it by 1+(R+1)K/W).
 func E8(w io.Writer) error {
-	t := &stats.Table{Header: []string{"R", "groups", "OPTf(PR)/OPTf(P)", "bound 1+1/R", "OPTf(PRW)/OPTf(PR)", "bound 1+(R+1)K/W"}}
-	K := 3
-	for _, R := range []int{1, 2, 4, 8} {
+	const K = 3
+	Rs := []int{1, 2, 4, 8}
+	type res struct {
+		g1, g2 float64
+	}
+	rows, err := RunGrid(len(Rs), seeds, seedE8, func(t Trial, rng *rand.Rand) (res, error) {
+		R := Rs[t.Row]
 		groups := 2 * K // per-class groups; W = groups*(R+1)
+		in := workload.FPGA(rng, 12, K, 2)
+		base, err := release.FractionalLowerBound(in, 0)
+		if err != nil {
+			return res{}, err
+		}
+		pr, _, err := release.RoundReleases(in, R)
+		if err != nil {
+			return res{}, err
+		}
+		afterR, err := release.FractionalLowerBound(pr, 0)
+		if err != nil {
+			return res{}, err
+		}
+		prw, err := release.GroupWidths(pr, groups)
+		if err != nil {
+			return res{}, err
+		}
+		afterW, err := release.FractionalLowerBound(prw, 0)
+		if err != nil {
+			return res{}, err
+		}
+		return res{g1: afterR / base, g2: afterW / afterR}, nil
+	})
+	if err != nil {
+		return err
+	}
+	t := &stats.Table{Header: []string{"R", "groups", "OPTf(PR)/OPTf(P)", "bound 1+1/R", "OPTf(PRW)/OPTf(PR)", "bound 1+(R+1)K/W"}}
+	for i, R := range Rs {
+		groups := 2 * K
 		W := groups * (R + 1)
 		var g1, g2 []float64
-		for s := 0; s < seeds; s++ {
-			rng := rand.New(rand.NewSource(int64(5000 + 10*R + s)))
-			in := workload.FPGA(rng, 12, K, 2)
-			base, err := release.FractionalLowerBound(in, 0)
-			if err != nil {
-				return err
-			}
-			pr, _, err := release.RoundReleases(in, R)
-			if err != nil {
-				return err
-			}
-			afterR, err := release.FractionalLowerBound(pr, 0)
-			if err != nil {
-				return err
-			}
-			prw, err := release.GroupWidths(pr, groups)
-			if err != nil {
-				return err
-			}
-			afterW, err := release.FractionalLowerBound(prw, 0)
-			if err != nil {
-				return err
-			}
-			g1 = append(g1, afterR/base)
-			g2 = append(g2, afterW/afterR)
+		for _, r := range rows[i] {
+			g1 = append(g1, r.g1)
+			g2 = append(g2, r.g2)
 		}
 		t.Add(R, groups, stats.Summarize(g1).Max, 1+1.0/float64(R),
 			stats.Summarize(g2).Max, 1+float64((R+1)*K)/float64(W))
@@ -370,8 +512,11 @@ func E8(w io.Writer) error {
 // FFDH, skyline BLDH) and its split fraction, measuring the height on the
 // same workloads. Theorem 2.3's proof needs NFDH's 2*AREA + h_max property
 // and the 1/2 split, but the algorithm runs with any of them.
+//
+// The workload for repetition r is derived from a rep-keyed seed rather
+// than the trial seed so every variant (row) sees the identical instances —
+// the whole point of an ablation.
 func E9(w io.Writer) error {
-	t := &stats.Table{Header: []string{"variant", "mean height", "mean ratio vs LB", "max ratio"}}
 	type variant struct {
 		name string
 		opts *precedence.DCOptions
@@ -383,24 +528,35 @@ func E9(w io.Writer) error {
 		{"nfdh split=0.35", &precedence.DCOptions{SplitFraction: 0.35}},
 		{"nfdh split=0.65", &precedence.DCOptions{SplitFraction: 0.65}},
 	}
-	for _, v := range variants {
+	type res struct {
+		height, ratio float64
+	}
+	rows, err := RunGrid(len(variants), seeds*2, seedE9, func(t Trial, _ *rand.Rand) (res, error) {
+		v := variants[t.Row]
+		rng := rand.New(rand.NewSource(seedE9 ^ int64(1000+t.Rep)))
+		in := workload.DAGWorkload(rng, 200, 8, 0.2)
+		p, _, err := precedence.DC(in, v.opts)
+		if err != nil {
+			return res{}, fmt.Errorf("E9 %s: %w", v.name, err)
+		}
+		if err := p.Validate(); err != nil {
+			return res{}, fmt.Errorf("E9 %s: %w", v.name, err)
+		}
+		lb, err := precedence.LowerBound(in)
+		if err != nil {
+			return res{}, err
+		}
+		return res{height: p.Height(), ratio: p.Height() / lb}, nil
+	})
+	if err != nil {
+		return err
+	}
+	t := &stats.Table{Header: []string{"variant", "mean height", "mean ratio vs LB", "max ratio"}}
+	for i, v := range variants {
 		var hs, ratios []float64
-		for s := 0; s < seeds*2; s++ {
-			rng := rand.New(rand.NewSource(int64(600 + s)))
-			in := workload.DAGWorkload(rng, 200, 8, 0.2)
-			p, _, err := precedence.DC(in, v.opts)
-			if err != nil {
-				return fmt.Errorf("E9 %s: %w", v.name, err)
-			}
-			if err := p.Validate(); err != nil {
-				return fmt.Errorf("E9 %s: %w", v.name, err)
-			}
-			lb, err := precedence.LowerBound(in)
-			if err != nil {
-				return err
-			}
-			hs = append(hs, p.Height())
-			ratios = append(ratios, p.Height()/lb)
+		for _, r := range rows[i] {
+			hs = append(hs, r.height)
+			ratios = append(ratios, r.ratio)
 		}
 		sm := stats.Summarize(ratios)
 		t.Add(v.name, stats.Summarize(hs).Mean, sm.Mean, sm.Max)
@@ -413,28 +569,50 @@ func E9(w io.Writer) error {
 // P(R) is contained in P(R,W), widths only grow, and the distinct width
 // count drops to the group budget.
 func E10(w io.Writer) error {
-	t := &stats.Table{Header: []string{"n", "groups", "widths before", "widths after", "contained", "area growth"}}
+	type cell struct {
+		n, groups int
+	}
+	var grid []cell
 	for _, n := range []int{10, 30, 100} {
 		for _, groups := range []int{2, 4, 8} {
-			rng := rand.New(rand.NewSource(int64(800 + n + groups)))
-			rects := make([]geom.Rect, n)
-			for i := range rects {
-				rects[i] = geom.Rect{W: 0.25 + 0.75*rng.Float64(), H: 0.1 + 0.9*rng.Float64(),
-					Release: math.Floor(3*rng.Float64()) / 2}
-			}
-			in := geom.NewInstance(1, rects)
-			out, err := release.GroupWidths(in, groups)
-			if err != nil {
-				return err
-			}
-			before := len(release.DistinctWidths(in))
-			after := len(release.DistinctWidths(out))
-			contained := release.Contained(in, out)
-			if !contained {
-				return fmt.Errorf("E10 n=%d groups=%d: containment violated", n, groups)
-			}
-			t.Add(n, groups, before, after, contained, out.Area()/in.Area())
+			grid = append(grid, cell{n, groups})
 		}
+	}
+	type res struct {
+		before, after int
+		contained     bool
+		growth        float64
+	}
+	rows, err := RunGrid(len(grid), 1, seedE10, func(t Trial, rng *rand.Rand) (res, error) {
+		c := grid[t.Row]
+		rects := make([]geom.Rect, c.n)
+		for i := range rects {
+			rects[i] = geom.Rect{W: 0.25 + 0.75*rng.Float64(), H: 0.1 + 0.9*rng.Float64(),
+				Release: math.Floor(3*rng.Float64()) / 2}
+		}
+		in := geom.NewInstance(1, rects)
+		out, err := release.GroupWidths(in, c.groups)
+		if err != nil {
+			return res{}, err
+		}
+		contained := release.Contained(in, out)
+		if !contained {
+			return res{}, fmt.Errorf("E10 n=%d groups=%d: containment violated", c.n, c.groups)
+		}
+		return res{
+			before:    len(release.DistinctWidths(in)),
+			after:     len(release.DistinctWidths(out)),
+			contained: contained,
+			growth:    out.Area() / in.Area(),
+		}, nil
+	})
+	if err != nil {
+		return err
+	}
+	t := &stats.Table{Header: []string{"n", "groups", "widths before", "widths after", "contained", "area growth"}}
+	for i, c := range grid {
+		r := rows[i][0]
+		t.Add(c.n, c.groups, r.before, r.after, r.contained, r.growth)
 	}
 	t.Render(w)
 	return nil
@@ -444,51 +622,73 @@ func E10(w io.Writer) error {
 // paper's Section 3 builds on) against the classical shelf packers on
 // quantized-width workloads, against the certified fractional bound.
 func E11(w io.Writer) error {
-	t := &stats.Table{Header: []string{"n", "eps", "KR/OPTf", "NFDH/OPTf", "FFDH/OPTf", "BLDH/OPTf"}}
+	type cell struct {
+		n   int
+		eps float64
+	}
+	var grid []cell
 	for _, n := range []int{30, 100, 300} {
 		for _, eps := range []float64{1.5, 0.75} {
-			var rk, rn, rf, rb []float64
-			for s := 0; s < seeds; s++ {
-				rng := rand.New(rand.NewSource(int64(11000 + 10*n + s)))
-				rects := make([]geom.Rect, n)
-				for i := range rects {
-					rects[i] = geom.Rect{
-						W: []float64{0.26, 0.34, 0.51, 0.17}[rng.Intn(4)],
-						H: 0.1 + 0.9*rng.Float64(),
-					}
-				}
-				in := geom.NewInstance(1, rects)
-				p, _, err := kr.Pack(in, kr.Options{Epsilon: eps})
-				if err != nil {
-					return err
-				}
-				if err := p.Validate(); err != nil {
-					return fmt.Errorf("E11 n=%d: %w", n, err)
-				}
-				optf, err := release.FractionalLowerBound(in, 0)
-				if err != nil {
-					return err
-				}
-				nf, err := packing.NFDH(1, rects)
-				if err != nil {
-					return err
-				}
-				ff, err := packing.FFDH(1, rects)
-				if err != nil {
-					return err
-				}
-				bl, err := packing.BLDH(1, rects)
-				if err != nil {
-					return err
-				}
-				rk = append(rk, p.Height()/optf)
-				rn = append(rn, nf.Height/optf)
-				rf = append(rf, ff.Height/optf)
-				rb = append(rb, bl.Height/optf)
-			}
-			t.Add(n, eps, stats.Summarize(rk).Mean, stats.Summarize(rn).Mean,
-				stats.Summarize(rf).Mean, stats.Summarize(rb).Mean)
+			grid = append(grid, cell{n, eps})
 		}
+	}
+	type res struct {
+		rk, rn, rf, rb float64
+	}
+	rows, err := RunGrid(len(grid), seeds, seedE11, func(t Trial, rng *rand.Rand) (res, error) {
+		c := grid[t.Row]
+		rects := make([]geom.Rect, c.n)
+		for i := range rects {
+			rects[i] = geom.Rect{
+				W: []float64{0.26, 0.34, 0.51, 0.17}[rng.Intn(4)],
+				H: 0.1 + 0.9*rng.Float64(),
+			}
+		}
+		in := geom.NewInstance(1, rects)
+		p, _, err := kr.Pack(in, kr.Options{Epsilon: c.eps})
+		if err != nil {
+			return res{}, err
+		}
+		if err := p.Validate(); err != nil {
+			return res{}, fmt.Errorf("E11 n=%d: %w", c.n, err)
+		}
+		optf, err := release.FractionalLowerBound(in, 0)
+		if err != nil {
+			return res{}, err
+		}
+		nf, err := packing.NFDH(1, rects)
+		if err != nil {
+			return res{}, err
+		}
+		ff, err := packing.FFDH(1, rects)
+		if err != nil {
+			return res{}, err
+		}
+		bl, err := packing.BLDH(1, rects)
+		if err != nil {
+			return res{}, err
+		}
+		return res{
+			rk: p.Height() / optf,
+			rn: nf.Height / optf,
+			rf: ff.Height / optf,
+			rb: bl.Height / optf,
+		}, nil
+	})
+	if err != nil {
+		return err
+	}
+	t := &stats.Table{Header: []string{"n", "eps", "KR/OPTf", "NFDH/OPTf", "FFDH/OPTf", "BLDH/OPTf"}}
+	for i, c := range grid {
+		var rk, rn, rf, rb []float64
+		for _, r := range rows[i] {
+			rk = append(rk, r.rk)
+			rn = append(rn, r.rn)
+			rf = append(rf, r.rf)
+			rb = append(rb, r.rb)
+		}
+		t.Add(c.n, c.eps, stats.Summarize(rk).Mean, stats.Summarize(rn).Mean,
+			stats.Summarize(rf).Mean, stats.Summarize(rb).Mean)
 	}
 	t.Render(w)
 	return nil
@@ -498,44 +698,65 @@ func E11(w io.Writer) error {
 // (tasks revealed at release) against the offline greedy skyline and the
 // offline APTAS, on the same FPGA workloads.
 func E12(w io.Writer) error {
-	t := &stats.Table{Header: []string{"n", "K", "span", "online/OPTf", "offline greedy/OPTf", "APTAS/OPTf"}}
+	const K = 3
+	type cell struct {
+		n    int
+		span float64
+	}
+	var grid []cell
 	for _, n := range []int{15, 30} {
 		for _, span := range []float64{1.0, 5.0} {
-			K := 3
-			var ron, roff, rap []float64
-			for s := 0; s < seeds; s++ {
-				rng := rand.New(rand.NewSource(int64(12000 + 10*n + int(span) + s)))
-				in := workload.FPGA(rng, n, K, span)
-				sched, err := fpga.RunOnline(in, fpga.NewDevice(K))
-				if err != nil {
-					return err
-				}
-				pOn, err := sched.ToPacking(in)
-				if err != nil {
-					return err
-				}
-				if err := pOn.Validate(); err != nil {
-					return fmt.Errorf("E12: %w", err)
-				}
-				pOff, err := release.GreedySkyline(in)
-				if err != nil {
-					return err
-				}
-				pAp, _, err := release.Pack(in, release.Options{Epsilon: 1.5, K: K})
-				if err != nil {
-					return err
-				}
-				optf, err := release.FractionalLowerBound(in, 0)
-				if err != nil {
-					return err
-				}
-				ron = append(ron, pOn.Height()/optf)
-				roff = append(roff, pOff.Height()/optf)
-				rap = append(rap, pAp.Height()/optf)
-			}
-			t.Add(n, K, span, stats.Summarize(ron).Mean, stats.Summarize(roff).Mean,
-				stats.Summarize(rap).Mean)
+			grid = append(grid, cell{n, span})
 		}
+	}
+	type res struct {
+		on, off, ap float64
+	}
+	rows, err := RunGrid(len(grid), seeds, seedE12, func(t Trial, rng *rand.Rand) (res, error) {
+		c := grid[t.Row]
+		in := workload.FPGA(rng, c.n, K, c.span)
+		sched, err := fpga.RunOnline(in, fpga.NewDevice(K))
+		if err != nil {
+			return res{}, err
+		}
+		pOn, err := sched.ToPacking(in)
+		if err != nil {
+			return res{}, err
+		}
+		if err := pOn.Validate(); err != nil {
+			return res{}, fmt.Errorf("E12: %w", err)
+		}
+		pOff, err := release.GreedySkyline(in)
+		if err != nil {
+			return res{}, err
+		}
+		pAp, _, err := release.Pack(in, release.Options{Epsilon: 1.5, K: K})
+		if err != nil {
+			return res{}, err
+		}
+		optf, err := release.FractionalLowerBound(in, 0)
+		if err != nil {
+			return res{}, err
+		}
+		return res{
+			on:  pOn.Height() / optf,
+			off: pOff.Height() / optf,
+			ap:  pAp.Height() / optf,
+		}, nil
+	})
+	if err != nil {
+		return err
+	}
+	t := &stats.Table{Header: []string{"n", "K", "span", "online/OPTf", "offline greedy/OPTf", "APTAS/OPTf"}}
+	for i, c := range grid {
+		var ron, roff, rap []float64
+		for _, r := range rows[i] {
+			ron = append(ron, r.on)
+			roff = append(roff, r.off)
+			rap = append(rap, r.ap)
+		}
+		t.Add(c.n, K, c.span, stats.Summarize(ron).Mean, stats.Summarize(roff).Mean,
+			stats.Summarize(rap).Mean)
 	}
 	t.Render(w)
 	return nil
@@ -543,11 +764,6 @@ func E12(w io.Writer) error {
 
 // RunAll executes every experiment, writing each table under its header.
 func RunAll(w io.Writer) error {
-	ids := make([]string, 0)
-	for _, e := range All() {
-		ids = append(ids, e.ID)
-	}
-	sort.Strings(ids)
 	for _, e := range All() {
 		fmt.Fprintf(w, "== %s: %s ==\n", e.ID, e.Title)
 		if err := e.Run(w); err != nil {

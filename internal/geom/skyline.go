@@ -11,11 +11,25 @@ import (
 // the bottom-left placement rule used by the BL heuristic and by the shelf
 // packers when they need a compact representation of free space.
 //
+// BestPosition runs in O(m) per query (m = segment count) via a monotonic
+// deque, and Place splices in-place into a reused scratch buffer, so the
+// structure is allocation-free in steady state. MaxY/MinY are cached fields
+// maintained by Place, making both O(1).
+//
 // The zero value is not usable; construct with NewSkyline.
 type Skyline struct {
 	width float64
 	// segs are maximal horizontal segments, sorted by x, covering [0,width).
 	segs []skySeg
+	// scratch is the spare segment buffer Place splices into; segs and
+	// scratch are swapped after every placement so neither is reallocated.
+	scratch []skySeg
+	// deque is the reusable index buffer for the sliding-window maximum in
+	// BestPosition.
+	deque []int
+	// maxY and minY cache the contour extrema; Place keeps them current.
+	maxY float64
+	minY float64
 }
 
 type skySeg struct {
@@ -33,26 +47,10 @@ func NewSkyline(width float64) *Skyline {
 func (s *Skyline) Width() float64 { return s.width }
 
 // MaxY returns the highest contour level.
-func (s *Skyline) MaxY() float64 {
-	var y float64
-	for _, g := range s.segs {
-		if g.y > y {
-			y = g.y
-		}
-	}
-	return y
-}
+func (s *Skyline) MaxY() float64 { return s.maxY }
 
 // MinY returns the lowest contour level.
-func (s *Skyline) MinY() float64 {
-	y := math.Inf(1)
-	for _, g := range s.segs {
-		if g.y < y {
-			y = g.y
-		}
-	}
-	return y
-}
+func (s *Skyline) MinY() float64 { return s.minY }
 
 // Segments returns a copy of the contour as (x, width, y) triples.
 func (s *Skyline) Segments() [][3]float64 {
@@ -65,7 +63,9 @@ func (s *Skyline) Segments() [][3]float64 {
 
 // supportY returns the y at which a rectangle of width w whose left edge is
 // at segment index i would rest: the max contour height over [x_i, x_i+w).
-// ok is false when the rectangle would stick out of the strip.
+// ok is false when the rectangle would stick out of the strip. It is the
+// O(m) reference for the windowed scan inside BestPosition; tests
+// cross-check the two.
 func (s *Skyline) supportY(i int, w float64) (y float64, ok bool) {
 	x0 := s.segs[i].x
 	if x0+w > s.width+Eps {
@@ -85,22 +85,63 @@ func (s *Skyline) supportY(i int, w float64) (y float64, ok bool) {
 // It returns the chosen x and y. The position minimizes the resulting top
 // edge y+h, breaking ties by smaller x. ok is false only if w exceeds the
 // strip width.
+//
+// The support height of every candidate window [x_i, x_i+w) is the maximum
+// contour level inside it. Both window edges move right monotonically as i
+// grows, so all supports are computed in one pass with a monotonic deque
+// (classic sliding-window maximum): O(m) total instead of the O(m²) of
+// calling supportY per candidate.
 func (s *Skyline) BestPosition(w, h, minY float64) (x, y float64, ok bool) {
 	bestY := math.Inf(1)
 	bestX := math.Inf(1)
 	found := false
+	// No candidate can rest below the contour minimum (or the minY floor),
+	// and ties are broken leftmost, so the scan can stop as soon as the
+	// incumbent reaches that bound — an exact cutoff, not a heuristic.
+	floor := s.minY
+	if minY > floor {
+		floor = minY
+	}
+	if cap(s.deque) < len(s.segs) {
+		s.deque = make([]int, len(s.segs))
+	}
+	dq := s.deque[:cap(s.deque)]
+	head, tail := 0, 0 // live deque entries are dq[head:tail]
+	r := 0             // segments [0,r) have been offered to the deque
 	for i := range s.segs {
-		sy, fits := s.supportY(i, w)
-		if !fits {
-			continue
+		x0 := s.segs[i].x
+		if x0+w > s.width+Eps {
+			break // segs are sorted by x, so no later candidate fits either
 		}
+		end := x0 + w
+		// Evict indices that slid out of the window on the left.
+		for head < tail && dq[head] < i {
+			head++
+		}
+		// Admit segments whose left edge enters the window on the right,
+		// keeping deque heights strictly decreasing front to back. Each
+		// segment is pushed at most once, so dq never overflows.
+		for ; r < len(s.segs) && s.segs[r].x+Eps < end; r++ {
+			for head < tail && s.segs[dq[tail-1]].y <= s.segs[r].y {
+				tail--
+			}
+			dq[tail] = r
+			tail++
+		}
+		var sy float64
+		if head < tail {
+			sy = s.segs[dq[head]].y
+		} // else degenerate w <= Eps: empty window rests at 0, as supportY does
 		if sy < minY {
 			sy = minY
 		}
-		if sy < bestY-Eps || (sy < bestY+Eps && s.segs[i].x < bestX-Eps) {
+		if sy < bestY-Eps || (sy < bestY+Eps && x0 < bestX-Eps) {
 			bestY = sy
-			bestX = s.segs[i].x
+			bestX = x0
 			found = true
+			if bestY <= floor+Eps {
+				break
+			}
 		}
 	}
 	if !found {
@@ -112,49 +153,75 @@ func (s *Skyline) BestPosition(w, h, minY float64) (x, y float64, ok bool) {
 // Place raises the contour over [x, x+w) to y+h, recording that a rectangle
 // of width w and height h was placed with its bottom-left corner at (x, y).
 // The caller is responsible for choosing a supported y (>= contour).
+//
+// The new contour is spliced directly into the scratch buffer in sorted
+// order — untouched left segments, left remainder, the raised segment,
+// right remainder, untouched right segments — merging equal-height
+// neighbours on the fly, then the buffers are swapped. No allocation occurs
+// once the buffers have grown to their working size.
 func (s *Skyline) Place(x, w, y, h float64) {
 	top := y + h
 	end := x + w
-	out := s.segs[:0:0]
-	for _, g := range s.segs {
-		gEnd := g.x + g.w
-		if gEnd <= x+Eps || g.x >= end-Eps {
-			out = append(out, g)
-			continue
-		}
-		// Left remainder below the placement.
-		if g.x < x-Eps {
-			out = append(out, skySeg{x: g.x, w: x - g.x, y: g.y})
-		}
-		// Right remainder.
-		if gEnd > end+Eps {
-			out = append(out, skySeg{x: end, w: gEnd - end, y: g.y})
-		}
-	}
-	out = append(out, skySeg{x: x, w: w, y: top})
-	// Re-sort by x and merge equal-height neighbours.
-	s.segs = normalizeSegs(out)
-}
-
-func normalizeSegs(segs []skySeg) []skySeg {
-	// Insertion sort: segments are nearly sorted already and counts are small.
-	for i := 1; i < len(segs); i++ {
-		for j := i; j > 0 && segs[j].x < segs[j-1].x; j-- {
-			segs[j], segs[j-1] = segs[j-1], segs[j]
-		}
-	}
-	out := segs[:0]
-	for _, g := range segs {
+	out := s.scratch[:0]
+	// push appends a segment, dropping slivers and merging with an
+	// equal-height abutting predecessor (same rules as the old normalize).
+	push := func(g skySeg) []skySeg {
 		if g.w <= Eps {
-			continue
+			return out
 		}
 		if n := len(out); n > 0 && math.Abs(out[n-1].y-g.y) <= Eps && math.Abs(out[n-1].x+out[n-1].w-g.x) <= Eps {
 			out[n-1].w += g.w
+			return out
+		}
+		return append(out, g)
+	}
+	placedDone := false
+	for _, g := range s.segs {
+		gEnd := g.x + g.w
+		if gEnd <= x+Eps {
+			out = push(g) // entirely left of the placement
 			continue
 		}
-		out = append(out, g)
+		if g.x >= end-Eps {
+			if !placedDone {
+				out = push(skySeg{x: x, w: w, y: top})
+				placedDone = true
+			}
+			out = push(g) // entirely right of the placement
+			continue
+		}
+		// g overlaps [x, end).
+		if g.x < x-Eps {
+			out = push(skySeg{x: g.x, w: x - g.x, y: g.y})
+		}
+		if !placedDone {
+			out = push(skySeg{x: x, w: w, y: top})
+			placedDone = true
+		}
+		if gEnd > end+Eps {
+			out = push(skySeg{x: end, w: gEnd - end, y: g.y})
+		}
 	}
-	return out
+	if !placedDone {
+		out = push(skySeg{x: x, w: w, y: top})
+	}
+	s.scratch = s.segs[:0]
+	s.segs = out
+	// Refresh the cached extrema from the rebuilt contour. This pass stays
+	// O(m) worst case but is branch-cheap; the placement itself can only
+	// raise maxY, while minY must be rescanned because the lowest segment
+	// may just have been covered.
+	maxY, minY := out[0].y, out[0].y
+	for _, g := range out[1:] {
+		if g.y > maxY {
+			maxY = g.y
+		}
+		if g.y < minY {
+			minY = g.y
+		}
+	}
+	s.maxY = maxY
+	s.minY = minY
 }
 
 // WastedArea returns the area trapped below the current contour that is not

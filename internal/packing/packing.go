@@ -11,6 +11,7 @@ package packing
 
 import (
 	"fmt"
+	"slices"
 	"sort"
 
 	"strippack/internal/geom"
@@ -42,13 +43,29 @@ func checkRects(width float64, rects []geom.Rect) error {
 	return nil
 }
 
+// heightDescCmp orders rect indices by non-increasing height, ties broken
+// on the original index — which makes a plain (unstable but
+// reflection-free) sort produce the stable order.
+func heightDescCmp(rects []geom.Rect) func(a, b int) int {
+	return func(a, b int) int {
+		switch {
+		case rects[a].H > rects[b].H:
+			return -1
+		case rects[a].H < rects[b].H:
+			return 1
+		default:
+			return a - b
+		}
+	}
+}
+
 // byHeightDesc returns indices sorted by non-increasing height (stable).
 func byHeightDesc(rects []geom.Rect) []int {
 	idx := make([]int, len(rects))
 	for i := range idx {
 		idx[i] = i
 	}
-	sort.SliceStable(idx, func(a, b int) bool { return rects[idx[a]].H > rects[idx[b]].H })
+	slices.SortFunc(idx, heightDescCmp(rects))
 	return idx
 }
 
@@ -192,7 +209,7 @@ func Sleator(width float64, rects []geom.Rect) (*Result, error) {
 		y += rects[i].H
 	}
 	// Sort narrow by non-increasing height.
-	sort.SliceStable(narrow, func(a, b int) bool { return rects[narrow[a]].H > rects[narrow[b]].H })
+	slices.SortFunc(narrow, heightDescCmp(rects))
 	// One level across the strip at height y.
 	x := 0.0
 	k := 0
