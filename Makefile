@@ -35,13 +35,16 @@ bench-record:
 fuzz:
 	$(GO) test ./internal/geom -fuzz FuzzSkylinePlace -fuzztime 30s
 
-# The parallel engine's determinism contract: experiment tables must be
-# byte-identical regardless of worker count. Runs in a private temp dir so
+# The parallel engines' determinism contracts: experiment tables must be
+# byte-identical regardless of both the trial-pool width (-parallel) and the
+# DC recursion's worker count (-dc-workers). Runs in a private temp dir so
 # concurrent invocations on a shared host cannot clobber each other.
 determinism:
 	@dir=$$(mktemp -d) && trap 'rm -rf "$$dir"' EXIT && \
 	$(GO) build -o $$dir/experiments ./cmd/experiments && \
-	$$dir/experiments -parallel 1 > $$dir/tables-p1.txt && \
-	$$dir/experiments -parallel 8 > $$dir/tables-p8.txt && \
-	cmp $$dir/tables-p1.txt $$dir/tables-p8.txt && \
-	echo "determinism: tables byte-identical across worker counts"
+	$$dir/experiments -parallel 1 -dc-workers 1 > $$dir/tables-serial.txt && \
+	$$dir/experiments -parallel 8 -dc-workers 8 > $$dir/tables-par.txt && \
+	$$dir/experiments -parallel 1 -dc-workers 8 > $$dir/tables-dcpar.txt && \
+	cmp $$dir/tables-serial.txt $$dir/tables-par.txt && \
+	cmp $$dir/tables-serial.txt $$dir/tables-dcpar.txt && \
+	echo "determinism: tables byte-identical across -parallel and -dc-workers"

@@ -11,6 +11,7 @@ package strippack
 import (
 	"io"
 	"math/rand"
+	"runtime"
 	"testing"
 
 	"strippack/internal/binpack"
@@ -77,17 +78,25 @@ func BenchmarkE12OnlineSerial(b *testing.B) {
 
 // --- micro-benchmarks of the substrates ---
 
-func BenchmarkDC1000(b *testing.B) {
+func benchDC1000(b *testing.B, workers int) {
 	rng := rand.New(rand.NewSource(1))
 	in := workload.DAGWorkload(rng, 1000, 16, 0.2)
+	opts := &precedence.DCOptions{Workers: workers}
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, _, err := precedence.DC(in, nil); err != nil {
+		if _, _, err := precedence.DC(in, opts); err != nil {
 			b.Fatal(err)
 		}
 	}
 }
+
+// BenchmarkDC1000 is the serial DC hot path (directly comparable with the
+// BENCH_1 baseline, whose recorder also ran single-core);
+// BenchmarkDCParallel1000 runs the same instance on the GOMAXPROCS-wide
+// subtree pool, so their ratio is the DC worker-pool speedup on this host.
+func BenchmarkDC1000(b *testing.B)         { benchDC1000(b, 1) }
+func BenchmarkDCParallel1000(b *testing.B) { benchDC1000(b, runtime.GOMAXPROCS(0)) }
 
 func BenchmarkNFDH1000(b *testing.B) {
 	rng := rand.New(rand.NewSource(2))

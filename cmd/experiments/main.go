@@ -26,12 +26,19 @@ func main() {
 	list := flag.Bool("list", false, "list experiment IDs and titles")
 	parallel := flag.Int("parallel", runtime.GOMAXPROCS(0),
 		"worker-pool width for trial fan-out (>=1; results are identical for any value)")
+	dcWorkers := flag.Int("dc-workers", 0,
+		"worker count for the DC divide-and-conquer recursion (0 = GOMAXPROCS; results are identical for any value)")
 	flag.Parse()
 	if *parallel < 1 {
 		fmt.Fprintln(os.Stderr, "experiments: -parallel must be >= 1")
 		os.Exit(2)
 	}
+	if *dcWorkers < 0 {
+		fmt.Fprintln(os.Stderr, "experiments: -dc-workers must be >= 0")
+		os.Exit(2)
+	}
 	experiments.Parallelism = *parallel
+	experiments.DCWorkers = *dcWorkers
 	if *list {
 		for _, e := range experiments.All() {
 			fmt.Printf("%-4s %s\n", e.ID, e.Title)

@@ -3,7 +3,7 @@ package binpack
 import (
 	"fmt"
 	"math"
-	"sort"
+	"slices"
 
 	"strippack/internal/lp"
 )
@@ -54,7 +54,18 @@ func APTAS(sizes []float64, eps float64) (*Assignment, *APTASReport, error) {
 	if len(large) > 0 {
 		// Linear grouping: sort large descending, cut into g groups of
 		// (nearly) equal cardinality, round each size up to its group max.
-		sort.SliceStable(large, func(x, y int) bool { return sizes[large[x]] > sizes[large[y]] })
+		// large is id-ascending, so the id tie-break keeps the
+		// reflection-free sort stable.
+		slices.SortFunc(large, func(x, y int) int {
+			switch {
+			case sizes[x] > sizes[y]:
+				return -1
+			case sizes[x] < sizes[y]:
+				return 1
+			default:
+				return x - y
+			}
+		})
 		g := int(math.Ceil(1 / (eps * eps)))
 		if g > len(large) {
 			g = len(large)

@@ -15,7 +15,7 @@ package binpack
 import (
 	"fmt"
 	"math"
-	"sort"
+	"slices"
 
 	"strippack/internal/dag"
 )
@@ -153,7 +153,18 @@ func decreasingOrder(sizes []float64) []int {
 	for i := range idx {
 		idx[i] = i
 	}
-	sort.SliceStable(idx, func(a, b int) bool { return sizes[idx[a]] > sizes[idx[b]] })
+	// idx starts as the identity, so the index tie-break keeps the
+	// reflection-free sort stable.
+	slices.SortFunc(idx, func(a, b int) int {
+		switch {
+		case sizes[a] > sizes[b]:
+			return -1
+		case sizes[a] < sizes[b]:
+			return 1
+		default:
+			return a - b
+		}
+	})
 	return idx
 }
 

@@ -1,10 +1,11 @@
 package binpack
 
 import (
+	"cmp"
 	"fmt"
 	"math"
 	"math/bits"
-	"sort"
+	"slices"
 
 	"strippack/internal/dag"
 )
@@ -314,6 +315,6 @@ func BinLoads(a *Assignment, sizes []float64) []float64 {
 // shared by ablation experiments).
 func SortedSizesDesc(sizes []float64) []float64 {
 	out := append([]float64(nil), sizes...)
-	sort.Sort(sort.Reverse(sort.Float64Slice(out)))
+	slices.SortFunc(out, func(a, b float64) int { return cmp.Compare(b, a) })
 	return out
 }

@@ -14,7 +14,9 @@ package precedence
 import (
 	"fmt"
 	"math"
-	"sort"
+	"runtime"
+	"slices"
+	"sync"
 
 	"strippack/internal/binpack"
 	"strippack/internal/dag"
@@ -22,16 +24,41 @@ import (
 	"strippack/internal/packing"
 )
 
+// DefaultWorkers is the worker count DC uses when DCOptions.Workers is
+// zero. Per-call configuration goes through DCOptions.Workers (that is how
+// cmd/experiments' -dc-workers flag arrives here); this var only sets the
+// fallback.
+var DefaultWorkers = runtime.GOMAXPROCS(0)
+
 // DCOptions configures the DC algorithm.
 type DCOptions struct {
 	// Subroutine is the unconstrained strip packer used for the middle band
 	// (the paper's A). It must satisfy A(S') <= 2·AREA(S')/width + max h for
-	// Theorem 2.3 to hold; NFDH does. Defaults to packing.NFDH.
+	// Theorem 2.3 to hold; NFDH does. Defaults to the allocation-free
+	// packing.NFDHInto; setting Subroutine routes bands through a copying
+	// adapter (packing.IndexOf), which the E9 ablation variants use.
 	Subroutine packing.Algorithm
+	// IndexSubroutine overrides the middle-band packer with an index-based
+	// implementation (no rectangle copies). Takes precedence over
+	// Subroutine.
+	IndexSubroutine packing.IndexAlgorithm
 	// SplitFraction is the F-threshold as a fraction of H used to cut the
 	// instance; the paper fixes 1/2. Exposed for the ablation experiment
 	// (E9). Values must lie in (0,1); 0 means 1/2.
 	SplitFraction float64
+	// Workers bounds the goroutines packing independent subtrees
+	// concurrently; 0 means DefaultWorkers, 1 runs fully serial.
+	//
+	// Parallel determinism contract (the DC analogue of the experiment
+	// engine's contract in internal/experiments/runner.go): for a fixed
+	// instance and options, the packing and the DCStats are byte-for-byte
+	// identical for every Workers value >= 1. Bot and top subtrees (and the
+	// middle band) write relative-y packings into disjoint id sets, the
+	// deterministic prefix-offset pass combines spans in bot -> mid -> top
+	// program order, and stats merge additively, so goroutine scheduling can
+	// never leak into the output. `make determinism` pins -dc-workers to 1
+	// and 8 and compares whole experiment tables.
+	Workers int
 }
 
 // DCStats reports structural information about a DC run, used by the
@@ -83,6 +110,13 @@ func LowerBound(in *geom.Instance) (float64, error) {
 }
 
 // DC runs Algorithm 1 on the instance and returns a feasible packing.
+//
+// The recursion is allocation-free after setup: per-level F values come
+// from an epoch-marked dag.Scratch instead of materialized induced
+// subgraphs, the bot/mid/top partition happens in place inside one backing
+// id array, and the middle band is packed by index directly into the result
+// (packing.NFDHInto). Independent subtrees run concurrently on a bounded
+// worker pool; see DCOptions.Workers for the determinism contract.
 func DC(in *geom.Instance, opts *DCOptions) (*geom.Packing, *DCStats, error) {
 	if err := in.Validate(); err != nil {
 		return nil, nil, err
@@ -91,11 +125,15 @@ func DC(in *geom.Instance, opts *DCOptions) (*geom.Packing, *DCStats, error) {
 	if err != nil {
 		return nil, nil, err
 	}
-	sub := packing.NFDH
+	sub := packing.IndexAlgorithm(packing.NFDHInto)
 	frac := 0.5
+	workers := DefaultWorkers
 	if opts != nil {
-		if opts.Subroutine != nil {
-			sub = opts.Subroutine
+		switch {
+		case opts.IndexSubroutine != nil:
+			sub = opts.IndexSubroutine
+		case opts.Subroutine != nil:
+			sub = packing.IndexOf(opts.Subroutine)
 		}
 		if opts.SplitFraction != 0 {
 			if opts.SplitFraction <= 0 || opts.SplitFraction >= 1 {
@@ -103,53 +141,99 @@ func DC(in *geom.Instance, opts *DCOptions) (*geom.Packing, *DCStats, error) {
 			}
 			frac = opts.SplitFraction
 		}
+		if opts.Workers > 0 {
+			workers = opts.Workers
+		}
 	}
+	if workers < 1 {
+		workers = 1
+	}
+	n := in.N()
 	p := geom.NewPacking(in)
-	stats := &DCStats{}
-	ids := make([]int, in.N())
-	for i := range ids {
-		ids[i] = i
+	heights := make([]float64, n)
+	for i, r := range in.Rects {
+		heights[i] = r.H
 	}
-	d := &dcRun{in: in, g: g, sub: sub, frac: frac, pack: p, stats: stats}
-	if _, err := d.rec(0, ids, 1); err != nil {
+	// The recursion keeps every id subset topologically ordered (SubgraphF
+	// requires it, and the stable three-way partition preserves it), so the
+	// backing array starts out as the graph's topological order.
+	order, err := g.TopoOrder()
+	if err != nil {
+		return nil, nil, err
+	}
+	ids := make([]int32, n)
+	for k, v := range order {
+		ids[k] = int32(v)
+	}
+	d := &dcRun{
+		in:      in,
+		g:       g,
+		sub:     sub,
+		frac:    frac,
+		pack:    p,
+		heights: heights,
+		width:   in.StripWidth(),
+		sem:     make(chan struct{}, workers-1),
+	}
+	d.pool.New = func() any { return d.newScratch() }
+	stats := &DCStats{}
+	if _, err := d.rec(ids, 1, d.newScratch(), stats); err != nil {
 		return nil, nil, err
 	}
 	return p, stats, nil
 }
 
 type dcRun struct {
-	in    *geom.Instance
-	g     *dag.Graph
-	sub   packing.Algorithm
-	frac  float64
-	pack  *geom.Packing
-	stats *DCStats
+	in      *geom.Instance
+	g       *dag.Graph
+	sub     packing.IndexAlgorithm
+	frac    float64
+	pack    *geom.Packing
+	heights []float64
+	width   float64
+	// sem holds workers-1 tokens: a subtree is handed to a new goroutine
+	// only when a token is free, otherwise it runs inline. The main
+	// goroutine is the remaining worker, so Workers==1 never spawns.
+	sem  chan struct{}
+	pool sync.Pool // of *dcScratch, for spawned subtrees
 }
 
-// rec implements DC(y, S) and returns the vertical span used. ids are
-// original rectangle indices; depth tracks recursion for stats.
-func (d *dcRun) rec(y float64, ids []int, depth int) (float64, error) {
-	d.stats.Calls++
-	if depth > d.stats.MaxDepth {
-		d.stats.MaxDepth = depth
+// dcScratch is the per-goroutine arena of the recursion: the epoch-marked
+// F scratch plus the partition buffer. One exists per concurrently active
+// subtree; the serial path uses a single instance for the whole run.
+type dcScratch struct {
+	ds  *dag.Scratch
+	tmp []int32
+}
+
+func (d *dcRun) newScratch() *dcScratch {
+	n := d.in.N()
+	return &dcScratch{ds: dag.NewScratch(n), tmp: make([]int32, n)}
+}
+
+// asyncMin is the subtree size below which handing work to another
+// goroutine costs more than it saves. Purely a performance knob: the output
+// is identical either way.
+const asyncMin = 64
+
+// rec implements DC(S) on the topologically ordered ids, writing a packing
+// whose y coordinates are relative to the subtree's own base line, and
+// returns the vertical span used. The caller shifts the subtree into place
+// afterwards (the prefix-offset pass), which is what lets bot and top run
+// concurrently. Stats for this subtree accumulate into st.
+func (d *dcRun) rec(ids []int32, depth int, sc *dcScratch, st *DCStats) (float64, error) {
+	st.Calls++
+	if depth > st.MaxDepth {
+		st.MaxDepth = depth
 	}
 	if len(ids) == 0 {
 		return 0, nil
 	}
 	// Recalculate F on the induced subgraph (Algorithm 1, line 2).
-	sub, _, err := d.g.InducedSubgraph(ids)
+	h, err := d.g.SubgraphF(ids, d.heights, sc.ds)
 	if err != nil {
 		return 0, err
 	}
-	heights := make([]float64, len(ids))
-	for k, id := range ids {
-		heights[k] = d.in.Rects[id].H
-	}
-	f, err := sub.LongestPathF(heights)
-	if err != nil {
-		return 0, err
-	}
-	h := dag.MaxF(f)
 	cut := h * d.frac
 	// Classify with exact comparisons against the predecessor maximum:
 	// F(s) - h(s) equals max_{s' in IN(s)} F(s') by definition, and using
@@ -157,51 +241,149 @@ func (d *dcRun) rec(y float64, ids []int, depth int) (float64, error) {
 	// (non-empty middle band) true in floating point: walking any tight
 	// chain from the F-maximal rectangle down to a source must cross the
 	// cut at some rectangle with F > cut and predecessor max <= cut.
-	var bot, mid, top []int
-	for k, id := range ids {
-		predMax := 0.0
-		for _, u := range sub.In(k) {
-			if f[u] > predMax {
-				predMax = f[u]
-			}
-		}
+	//
+	// The partition is stable (first pass counts, second scatters in order
+	// through sc.tmp, then copies back), so each part stays topologically
+	// ordered inside the shared backing array.
+	nb, nm := 0, 0
+	for _, id := range ids {
 		switch {
-		case f[k] <= cut:
-			bot = append(bot, id)
-		case predMax <= cut:
-			mid = append(mid, id)
-		default:
-			top = append(top, id)
+		case sc.ds.F(id) <= cut:
+			nb++
+		case sc.ds.PredMax(id) <= cut:
+			nm++
 		}
 	}
-	if len(mid) == 0 {
+	if nm == 0 {
 		return 0, fmt.Errorf("precedence: empty middle band (n=%d, frac=%g)", len(ids), d.frac)
 	}
-	used := 0.0
-	span, err := d.rec(y, bot, depth+1)
+	tmp := sc.tmp[:len(ids)]
+	bi, mi, ti := 0, nb, nb+nm
+	for _, id := range ids {
+		switch {
+		case sc.ds.F(id) <= cut:
+			tmp[bi] = id
+			bi++
+		case sc.ds.PredMax(id) <= cut:
+			tmp[mi] = id
+			mi++
+		default:
+			tmp[ti] = id
+			ti++
+		}
+	}
+	copy(ids, tmp)
+	bot, mid, top := ids[:nb], ids[nb:nb+nm], ids[nb+nm:]
+
+	// Bot subtree, middle band and top subtree touch disjoint ids, so they
+	// can run concurrently. The parallel variant lives in its own method
+	// because its goroutine closures force their captures onto the heap;
+	// keeping rec itself closure-free makes the serial path (and every
+	// too-small-to-offload level of a parallel run) allocation-free.
+	if cap(d.sem) > 0 && (len(bot) >= asyncMin || len(mid) >= asyncMin) {
+		return d.recParallel(bot, mid, top, depth, sc, st)
+	}
+	var botStats, topStats DCStats
+	botSpan, err := d.rec(bot, depth+1, sc, &botStats)
 	if err != nil {
 		return 0, err
 	}
-	used += span
-	// Middle band: no dependencies among mid (Lemma 2.1); pack with A.
-	rects := make([]geom.Rect, len(mid))
-	for k, id := range mid {
-		rects[k] = d.in.Rects[id]
-	}
-	res, err := d.sub(d.in.StripWidth(), rects)
+	midH, err := d.sub(d.width, d.in.Rects, mid, d.pack.Pos)
 	if err != nil {
 		return 0, err
 	}
-	d.stats.Bands++
-	for k, id := range mid {
-		d.pack.Set(id, res.Pos[k].X, y+used+res.Pos[k].Y)
-	}
-	used += res.Height
-	span, err = d.rec(y+used, top, depth+1)
+	topSpan, err := d.rec(top, depth+1, sc, &topStats)
 	if err != nil {
 		return 0, err
 	}
-	return used + span, nil
+	d.shift(mid, top, botSpan, midH)
+	mergeStats(st, &botStats, &topStats)
+	return botSpan + midH + topSpan, nil
+}
+
+// recParallel finishes a level whose parts are already partitioned: bot and
+// the middle band are offloaded to pooled goroutines when a worker token is
+// free, top always runs inline (reusing sc, which the partition no longer
+// needs). Identical arithmetic to the serial path in rec — only the
+// execution overlaps.
+func (d *dcRun) recParallel(bot, mid, top []int32, depth int, sc *dcScratch, st *DCStats) (float64, error) {
+	var (
+		wg                     sync.WaitGroup
+		botSpan, midH, topSpan float64
+		botErr, midErr, topErr error
+		botStats, topStats     DCStats
+	)
+	if len(bot) >= asyncMin && d.acquire() {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			s := d.pool.Get().(*dcScratch)
+			botSpan, botErr = d.rec(bot, depth+1, s, &botStats)
+			d.pool.Put(s)
+			<-d.sem
+		}()
+	} else {
+		botSpan, botErr = d.rec(bot, depth+1, sc, &botStats)
+	}
+	if len(mid) >= asyncMin && d.acquire() {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			midH, midErr = d.sub(d.width, d.in.Rects, mid, d.pack.Pos)
+			<-d.sem
+		}()
+	} else {
+		midH, midErr = d.sub(d.width, d.in.Rects, mid, d.pack.Pos)
+	}
+	topSpan, topErr = d.rec(top, depth+1, sc, &topStats)
+	wg.Wait()
+	// Deterministic error choice: program order bot, mid, top.
+	if botErr != nil {
+		return 0, botErr
+	}
+	if midErr != nil {
+		return 0, midErr
+	}
+	if topErr != nil {
+		return 0, topErr
+	}
+	d.shift(mid, top, botSpan, midH)
+	mergeStats(st, &botStats, &topStats)
+	return botSpan + midH + topSpan, nil
+}
+
+// acquire claims a worker token without blocking.
+func (d *dcRun) acquire() bool {
+	select {
+	case d.sem <- struct{}{}:
+		return true
+	default:
+		return false
+	}
+}
+
+// shift is the prefix-offset pass: the middle band moves up by the bot
+// span, the top subtree by bot span plus band height, turning the three
+// relative packings into one relative to this subtree's base line.
+func (d *dcRun) shift(mid, top []int32, botSpan, midH float64) {
+	for _, id := range mid {
+		d.pack.Pos[id].Y += botSpan
+	}
+	off := botSpan + midH
+	for _, id := range top {
+		d.pack.Pos[id].Y += off
+	}
+}
+
+func mergeStats(st, bot, top *DCStats) {
+	st.Calls += bot.Calls + top.Calls
+	if bot.MaxDepth > st.MaxDepth {
+		st.MaxDepth = bot.MaxDepth
+	}
+	if top.MaxDepth > st.MaxDepth {
+		st.MaxDepth = top.MaxDepth
+	}
+	st.Bands += bot.Bands + top.Bands + 1
 }
 
 // GuaranteeBound returns the proven upper bound of Theorem 2.3 for the
@@ -330,6 +512,13 @@ func shelfPacking(in *geom.Instance, a *binpack.Assignment, order []int, h float
 // §2.2): repeatedly pick the shelf-spanning rectangle with the smallest y
 // and slide it down into the lower of the two shelves it spans. The packing
 // is modified in place.
+//
+// Sliding a spanning rectangle aligns it to a shelf boundary and moves
+// nothing else, so the candidate set never grows: all spanning rectangles
+// are collected once into a min-heap keyed by y (ties on id) and processed
+// in the same smallest-y-first order as the textbook loop, with a single
+// overlap sweep validating the result — instead of one O(n log n) sweep and
+// one O(n) rescan per slide.
 func ToShelfSolution(p *geom.Packing) error {
 	in := p.Instance
 	h, err := uniformHeight(in)
@@ -344,25 +533,84 @@ func ToShelfSolution(p *geom.Packing) error {
 		m := math.Mod(y, h)
 		return m > geom.Eps && m < h-geom.Eps
 	}
-	for iter := 0; iter <= in.N(); iter++ {
-		// Find the spanning rect with the lowest y.
-		best := -1
-		for i := range in.Rects {
-			if spanning(p.Pos[i].Y) && (best == -1 || p.Pos[i].Y < p.Pos[best].Y) {
-				best = i
-			}
-		}
-		if best == -1 {
-			return nil // all aligned: shelf solution
-		}
-		// Slide down to the bottom of the lower shelf it spans.
-		newY := math.Floor(p.Pos[best].Y/h+geom.Eps) * h
-		p.Pos[best].Y = newY
-		if err := p.OverlapSweep(); err != nil {
-			return fmt.Errorf("precedence: slide-down created overlap (should be impossible): %w", err)
+	var hp slideHeap
+	for i := range in.Rects {
+		if spanning(p.Pos[i].Y) {
+			hp.push(p.Pos[i].Y, i)
 		}
 	}
-	return fmt.Errorf("precedence: slide-down did not converge")
+	if hp.len() == 0 {
+		return nil // already a shelf solution
+	}
+	for hp.len() > 0 {
+		y, id := hp.pop()
+		// Slide down to the bottom of the lower shelf it spans.
+		p.Pos[id].Y = math.Floor(y/h+geom.Eps) * h
+	}
+	if err := p.OverlapSweep(); err != nil {
+		return fmt.Errorf("precedence: slide-down created overlap (should be impossible): %w", err)
+	}
+	return nil
+}
+
+// slideHeap is a binary min-heap of (y, id) pairs ordered by y, ties on id,
+// holding ToShelfSolution's pending slide-down candidates.
+type slideHeap struct {
+	ys  []float64
+	ids []int
+}
+
+func (s *slideHeap) len() int { return len(s.ys) }
+
+func (s *slideHeap) less(i, j int) bool {
+	if s.ys[i] != s.ys[j] {
+		return s.ys[i] < s.ys[j]
+	}
+	return s.ids[i] < s.ids[j]
+}
+
+func (s *slideHeap) swap(i, j int) {
+	s.ys[i], s.ys[j] = s.ys[j], s.ys[i]
+	s.ids[i], s.ids[j] = s.ids[j], s.ids[i]
+}
+
+func (s *slideHeap) push(y float64, id int) {
+	s.ys = append(s.ys, y)
+	s.ids = append(s.ids, id)
+	i := len(s.ys) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !s.less(i, parent) {
+			break
+		}
+		s.swap(i, parent)
+		i = parent
+	}
+}
+
+func (s *slideHeap) pop() (float64, int) {
+	y, id := s.ys[0], s.ids[0]
+	last := len(s.ys) - 1
+	s.swap(0, last)
+	s.ys = s.ys[:last]
+	s.ids = s.ids[:last]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		small := i
+		if l < len(s.ys) && s.less(l, small) {
+			small = l
+		}
+		if r < len(s.ys) && s.less(r, small) {
+			small = r
+		}
+		if small == i {
+			break
+		}
+		s.swap(i, small)
+		i = small
+	}
+	return y, id
 }
 
 // SortByF returns rectangle indices sorted by increasing F value; helper
@@ -376,6 +624,16 @@ func SortByF(in *geom.Instance) ([]int, error) {
 	for i := range idx {
 		idx[i] = i
 	}
-	sort.SliceStable(idx, func(a, b int) bool { return f[idx[a]] < f[idx[b]] })
+	// Index tie-break keeps the reflection-free sort stable.
+	slices.SortFunc(idx, func(a, b int) int {
+		switch {
+		case f[a] < f[b]:
+			return -1
+		case f[a] > f[b]:
+			return 1
+		default:
+			return a - b
+		}
+	})
 	return idx, nil
 }

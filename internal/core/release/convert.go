@@ -2,7 +2,7 @@ package release
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 
 	"strippack/internal/geom"
 )
@@ -66,8 +66,17 @@ func ToIntegralWithAreas(in *geom.Instance, fs *FractionalSolution) (*IntegralRe
 	}
 	for i := range byWidth {
 		ids := byWidth[i]
-		sort.SliceStable(ids, func(a, b int) bool {
-			return in.Rects[ids[a]].Release < in.Rects[ids[b]].Release
+		// byWidth rows are id-ascending, so the id tie-break keeps the
+		// reflection-free sort stable.
+		slices.SortFunc(ids, func(a, b int) int {
+			switch {
+			case in.Rects[a].Release < in.Rects[b].Release:
+				return -1
+			case in.Rects[a].Release > in.Rects[b].Release:
+				return 1
+			default:
+				return a - b
+			}
 		})
 	}
 

@@ -20,7 +20,7 @@ package release
 import (
 	"fmt"
 	"math"
-	"sort"
+	"slices"
 
 	"strippack/internal/geom"
 )
@@ -64,7 +64,7 @@ func classes(in *geom.Instance) ([]float64, [][]int) {
 	for v := range byRel {
 		vals = append(vals, v)
 	}
-	sort.Float64s(vals)
+	slices.Sort(vals)
 	members := make([][]int, len(vals))
 	for j, v := range vals {
 		members[j] = byRel[v]
@@ -87,7 +87,19 @@ func StackHeight(in *geom.Instance, ids []int) float64 {
 // the stack (Fig. 3 of the paper). Exposed for the grouping experiment E10.
 func Stacking(in *geom.Instance, ids []int) (order []int, base []float64) {
 	order = append([]int(nil), ids...)
-	sort.SliceStable(order, func(a, b int) bool { return in.Rects[order[a]].W > in.Rects[order[b]].W })
+	// The stable tie rule (preserve the caller's ids order for equal
+	// widths) matters for grouping determinism, so use the reflection-free
+	// stable sort.
+	slices.SortStableFunc(order, func(a, b int) int {
+		switch {
+		case in.Rects[a].W > in.Rects[b].W:
+			return -1
+		case in.Rects[a].W < in.Rects[b].W:
+			return 1
+		default:
+			return 0
+		}
+	})
 	base = make([]float64, len(order))
 	y := 0.0
 	for k, id := range order {
@@ -251,7 +263,7 @@ func DistinctWidths(in *geom.Instance) []float64 {
 	for _, r := range in.Rects {
 		ws = append(ws, r.W)
 	}
-	sort.Float64s(ws)
+	slices.Sort(ws)
 	out := ws[:0]
 	for _, w := range ws {
 		if len(out) == 0 || w-out[len(out)-1] > geom.Eps {

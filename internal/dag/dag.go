@@ -3,37 +3,63 @@
 // recursive F(s) lower bound of the paper (height of the top edge of s in an
 // infinitely wide strip), critical paths, induced subgraphs and transitive
 // reduction, plus generators for random task graphs.
+//
+// # Representation
+//
+// A Graph is stored in compressed-sparse-row (CSR) form: one flat []int32
+// adjacency array per direction (outAdj, inAdj) indexed by per-vertex offset
+// arrays, built from the staged edge list on the first query. Rows are
+// sorted ascending, so HasEdge is a binary search over the out-row and Edges
+// is a single linear read. Duplicate edges are collapsed during the build
+// (sort + compact); there is no per-edge hash map anywhere.
+//
+// AddEdge only stages an edge and marks the CSR dirty; the next query
+// rebuilds it in O(m log m). A graph is safe for concurrent reads once
+// built — call Build (or any query) before sharing it across goroutines. It
+// is never safe for concurrent mutation.
+//
+// # Subset queries
+//
+// SubgraphF answers the inner-loop question of the paper's Algorithm 1: the
+// longest-path F restricted to an induced vertex subset. Instead of
+// materializing the induced subgraph it marks the subset in a caller-owned
+// Scratch with the current epoch and walks each vertex's in-row, considering
+// only neighbours whose mark matches the epoch. One call costs
+// O(|ids| + edges touched) and allocates nothing; bumping the epoch retires
+// the previous subset for free. See subgraph.go for the Scratch ownership
+// rules.
 package dag
 
 import (
 	"errors"
 	"fmt"
-	"sort"
+	"slices"
 )
 
-// Graph is a DAG over vertices 0..N-1 stored as forward and reverse
-// adjacency lists. Vertices correspond to rectangle IDs.
+// Graph is a DAG over vertices 0..N-1. Vertices correspond to rectangle IDs.
 type Graph struct {
-	n    int
-	out  [][]int
-	in   [][]int
-	seen map[[2]int]bool // edge dedup
+	n int
+	// edges stages AddEdge input (possibly with duplicates) until the next
+	// build; after a build it is the sorted, deduplicated edge list.
+	edges [][2]int32
+	dirty bool
+	// CSR adjacency, valid when !dirty: the successors of u are
+	// outAdj[outOff[u]:outOff[u+1]] sorted ascending, and symmetrically the
+	// predecessors of v are inAdj[inOff[v]:inOff[v+1]].
+	outOff, inOff []int32
+	outAdj, inAdj []int32
 }
 
 // New returns an empty graph on n vertices.
 func New(n int) *Graph {
-	return &Graph{
-		n:    n,
-		out:  make([][]int, n),
-		in:   make([][]int, n),
-		seen: make(map[[2]int]bool),
-	}
+	return &Graph{n: n, dirty: true}
 }
 
 // FromEdges builds a graph on n vertices from an edge list. Duplicate edges
-// are collapsed. It does not check acyclicity; call Cycle or TopoOrder.
+// are collapsed. It does not check acyclicity; call TopoOrder.
 func FromEdges(n int, edges [][2]int) (*Graph, error) {
 	g := New(n)
+	g.edges = make([][2]int32, 0, len(edges))
 	for _, e := range edges {
 		if err := g.AddEdge(e[0], e[1]); err != nil {
 			return nil, err
@@ -45,7 +71,8 @@ func FromEdges(n int, edges [][2]int) (*Graph, error) {
 // N returns the number of vertices.
 func (g *Graph) N() int { return g.n }
 
-// AddEdge inserts edge u -> v, ignoring exact duplicates.
+// AddEdge stages edge u -> v; exact duplicates are collapsed at the next
+// build.
 func (g *Graph) AddEdge(u, v int) error {
 	if u < 0 || u >= g.n || v < 0 || v >= g.n {
 		return fmt.Errorf("dag: edge (%d,%d) out of range [0,%d)", u, v, g.n)
@@ -53,44 +80,111 @@ func (g *Graph) AddEdge(u, v int) error {
 	if u == v {
 		return fmt.Errorf("dag: self-loop on %d", u)
 	}
-	k := [2]int{u, v}
-	if g.seen[k] {
-		return nil
-	}
-	g.seen[k] = true
-	g.out[u] = append(g.out[u], v)
-	g.in[v] = append(g.in[v], u)
+	g.edges = append(g.edges, [2]int32{int32(u), int32(v)})
+	g.dirty = true
 	return nil
 }
 
-// HasEdge reports whether u -> v is present.
-func (g *Graph) HasEdge(u, v int) bool { return g.seen[[2]int{u, v}] }
-
-// Out returns the successors of u (shared slice; do not mutate).
-func (g *Graph) Out(u int) []int { return g.out[u] }
-
-// In returns the predecessors of u (the paper's IN(s); shared slice).
-func (g *Graph) In(u int) []int { return g.in[u] }
-
-// Edges returns all edges in deterministic order.
-func (g *Graph) Edges() [][2]int {
-	var es [][2]int
-	for u := 0; u < g.n; u++ {
-		for _, v := range g.out[u] {
-			es = append(es, [2]int{u, v})
-		}
+// Build finalizes the CSR arrays after a batch of AddEdge calls. Every query
+// calls it implicitly; exposing it lets callers pay the O(m log m) cost
+// eagerly, e.g. before sharing the graph across goroutines.
+func (g *Graph) Build() {
+	if g.dirty {
+		g.build()
 	}
-	sort.Slice(es, func(i, j int) bool {
-		if es[i][0] != es[j][0] {
-			return es[i][0] < es[j][0]
+}
+
+func (g *Graph) build() {
+	slices.SortFunc(g.edges, func(a, b [2]int32) int {
+		if a[0] != b[0] {
+			return int(a[0] - b[0])
 		}
-		return es[i][1] < es[j][1]
+		return int(a[1] - b[1])
 	})
+	g.edges = slices.Compact(g.edges)
+	m := len(g.edges)
+	g.outOff = resizeZero(g.outOff, g.n+1)
+	g.inOff = resizeZero(g.inOff, g.n+1)
+	g.outAdj = resize(g.outAdj, m)
+	g.inAdj = resize(g.inAdj, m)
+	for _, e := range g.edges {
+		g.outOff[e[0]+1]++
+		g.inOff[e[1]+1]++
+	}
+	for v := 0; v < g.n; v++ {
+		g.outOff[v+1] += g.outOff[v]
+		g.inOff[v+1] += g.inOff[v]
+	}
+	// The edge list is sorted by (u,v), so the concatenated out-rows are
+	// exactly the target column, and scattering sources in list order keeps
+	// every in-row sorted too. inOff doubles as the scatter cursor and is
+	// restored by the backward shift.
+	for i, e := range g.edges {
+		g.outAdj[i] = e[1]
+		g.inAdj[g.inOff[e[1]]] = e[0]
+		g.inOff[e[1]]++
+	}
+	for v := g.n; v >= 1; v-- {
+		g.inOff[v] = g.inOff[v-1]
+	}
+	g.inOff[0] = 0
+	g.dirty = false
+}
+
+func resize(s []int32, n int) []int32 {
+	if cap(s) < n {
+		return make([]int32, n)
+	}
+	return s[:n]
+}
+
+func resizeZero(s []int32, n int) []int32 {
+	s = resize(s, n)
+	clear(s)
+	return s
+}
+
+// HasEdge reports whether u -> v is present: a binary search over u's sorted
+// out-row.
+func (g *Graph) HasEdge(u, v int) bool {
+	if u < 0 || u >= g.n || v < 0 || v >= g.n {
+		return false
+	}
+	g.Build()
+	_, ok := slices.BinarySearch(g.outAdj[g.outOff[u]:g.outOff[u+1]], int32(v))
+	return ok
+}
+
+// Out returns the successors of u in ascending order (a view into the CSR
+// array; do not mutate).
+func (g *Graph) Out(u int) []int32 {
+	g.Build()
+	return g.outAdj[g.outOff[u]:g.outOff[u+1]]
+}
+
+// In returns the predecessors of u in ascending order (the paper's IN(s); a
+// view into the CSR array, do not mutate).
+func (g *Graph) In(u int) []int32 {
+	g.Build()
+	return g.inAdj[g.inOff[u]:g.inOff[u+1]]
+}
+
+// Edges returns all edges in deterministic (u, then v) ascending order: a
+// linear read of the sorted CSR edge list.
+func (g *Graph) Edges() [][2]int {
+	g.Build()
+	es := make([][2]int, len(g.edges))
+	for i, e := range g.edges {
+		es[i] = [2]int{int(e[0]), int(e[1])}
+	}
 	return es
 }
 
 // EdgeCount returns the number of distinct edges.
-func (g *Graph) EdgeCount() int { return len(g.seen) }
+func (g *Graph) EdgeCount() int {
+	g.Build()
+	return len(g.edges)
+}
 
 // ErrCycle reports that the graph is not acyclic.
 var ErrCycle = errors.New("dag: graph contains a cycle")
@@ -98,9 +192,10 @@ var ErrCycle = errors.New("dag: graph contains a cycle")
 // TopoOrder returns a topological order (Kahn's algorithm with a smallest-
 // index tie-break for determinism) or ErrCycle.
 func (g *Graph) TopoOrder() ([]int, error) {
-	indeg := make([]int, g.n)
+	g.Build()
+	indeg := make([]int32, g.n)
 	for v := 0; v < g.n; v++ {
-		indeg[v] = len(g.in[v])
+		indeg[v] = g.inOff[v+1] - g.inOff[v]
 	}
 	// Min-heap on vertex index for deterministic output.
 	var heap intHeap
@@ -113,10 +208,10 @@ func (g *Graph) TopoOrder() ([]int, error) {
 	for heap.len() > 0 {
 		v := heap.pop()
 		order = append(order, v)
-		for _, w := range g.out[v] {
+		for _, w := range g.outAdj[g.outOff[v]:g.outOff[v+1]] {
 			indeg[w]--
 			if indeg[w] == 0 {
-				heap.push(w)
+				heap.push(int(w))
 			}
 		}
 	}
@@ -147,7 +242,7 @@ func (g *Graph) LongestPathF(heights []float64) ([]float64, error) {
 	f := make([]float64, g.n)
 	for _, v := range order {
 		best := 0.0
-		for _, u := range g.in[v] {
+		for _, u := range g.inAdj[g.inOff[v]:g.inOff[v+1]] {
 			if f[u] > best {
 				best = f[u]
 			}
@@ -189,9 +284,9 @@ func (g *Graph) CriticalPath(heights []float64) ([]int, error) {
 	cur := best
 	for {
 		next := -1
-		for _, u := range g.in[cur] {
+		for _, u := range g.In(cur) {
 			if next == -1 || f[u] > f[next] {
-				next = u
+				next = int(u)
 			}
 		}
 		if next == -1 {
@@ -217,7 +312,7 @@ func (g *Graph) Levels() ([]int, error) {
 	lvl := make([]int, g.n)
 	for _, v := range order {
 		best := -1
-		for _, u := range g.in[v] {
+		for _, u := range g.inAdj[g.inOff[v]:g.inOff[v+1]] {
 			if lvl[u] > best {
 				best = lvl[u]
 			}
@@ -230,6 +325,10 @@ func (g *Graph) Levels() ([]int, error) {
 // InducedSubgraph returns the subgraph on the given vertex subset together
 // with the mapping newIndex -> oldIndex. Edges between retained vertices are
 // kept, all others dropped. The subset must not contain duplicates.
+//
+// This materializes a fresh graph and is the reference implementation the
+// SubgraphF property tests check against; hot paths should use SubgraphF,
+// which answers the longest-path question over a subset without allocating.
 func (g *Graph) InducedSubgraph(subset []int) (*Graph, []int, error) {
 	newIdx := make(map[int]int, len(subset))
 	for i, v := range subset {
@@ -243,8 +342,8 @@ func (g *Graph) InducedSubgraph(subset []int) (*Graph, []int, error) {
 	}
 	sub := New(len(subset))
 	for _, v := range subset {
-		for _, w := range g.out[v] {
-			if j, ok := newIdx[w]; ok {
+		for _, w := range g.Out(v) {
+			if j, ok := newIdx[int(w)]; ok {
 				if err := sub.AddEdge(newIdx[v], j); err != nil {
 					return nil, nil, err
 				}
@@ -258,12 +357,13 @@ func (g *Graph) InducedSubgraph(subset []int) (*Graph, []int, error) {
 // Reachable returns the set of vertices reachable from u (excluding u) as a
 // boolean slice.
 func (g *Graph) Reachable(u int) []bool {
+	g.Build()
 	seen := make([]bool, g.n)
-	stack := []int{u}
+	stack := []int32{int32(u)}
 	for len(stack) > 0 {
 		v := stack[len(stack)-1]
 		stack = stack[:len(stack)-1]
-		for _, w := range g.out[v] {
+		for _, w := range g.outAdj[g.outOff[v]:g.outOff[v+1]] {
 			if !seen[w] {
 				seen[w] = true
 				stack = append(stack, w)
@@ -283,18 +383,18 @@ func (g *Graph) TransitiveReduction() *Graph {
 		// successors of their reachable sets plus the successors themselves
 		// at distance >= 2.
 		far := make([]bool, g.n)
-		for _, v := range g.out[u] {
-			r := g.Reachable(v)
+		for _, v := range g.Out(u) {
+			r := g.Reachable(int(v))
 			for w, ok := range r {
 				if ok {
 					far[w] = true
 				}
 			}
 		}
-		for _, v := range g.out[u] {
+		for _, v := range g.Out(u) {
 			if !far[v] {
 				// Edge is not implied; keep it.
-				_ = red.AddEdge(u, v)
+				_ = red.AddEdge(u, int(v))
 			}
 		}
 	}

@@ -1,0 +1,120 @@
+package dag
+
+import (
+	"fmt"
+	"math"
+)
+
+// Scratch holds the reusable state for subset queries (SubgraphF): an epoch
+// counter plus per-vertex mark, done, F and predecessor-max arrays.
+//
+// Ownership rules:
+//   - A Scratch is created for a vertex-count capacity (NewScratch) and may
+//     serve any graph with at most that many vertices.
+//   - It may be reused across any number of SubgraphF calls; each call bumps
+//     the epoch, which retires the previous subset without clearing.
+//   - F/PredMax results are valid only until the next SubgraphF call on the
+//     same Scratch.
+//   - A Scratch must never be used by two goroutines concurrently;
+//     concurrent callers each bring their own (the graph itself is safe for
+//     concurrent reads once built).
+type Scratch struct {
+	epoch int32
+	mark  []int32 // epoch when the vertex joined the current subset
+	done  []int32 // epoch when the vertex's F was finalized
+	f     []float64
+	pred  []float64
+}
+
+// NewScratch returns a Scratch able to serve graphs of up to n vertices.
+func NewScratch(n int) *Scratch {
+	return &Scratch{
+		mark: make([]int32, n),
+		done: make([]int32, n),
+		f:    make([]float64, n),
+		pred: make([]float64, n),
+	}
+}
+
+// Cap returns the vertex-count capacity.
+func (s *Scratch) Cap() int { return len(s.mark) }
+
+// F returns the subset-restricted F value of v computed by the last
+// SubgraphF call that included v in its subset.
+func (s *Scratch) F(v int32) float64 { return s.f[v] }
+
+// PredMax returns max F over v's in-subset predecessors from the last
+// SubgraphF call (0 when v has none). By construction
+// F(v) = heights[v] + PredMax(v) exactly, so classifying against PredMax
+// avoids the re-subtraction rounding that would break Lemma 2.2 in floating
+// point.
+func (s *Scratch) PredMax(v int32) float64 { return s.pred[v] }
+
+// nextEpoch advances the epoch, resetting the mark arrays on the (rare)
+// wraparound so stale epochs can never alias.
+func (s *Scratch) nextEpoch() int32 {
+	if s.epoch == math.MaxInt32 {
+		s.epoch = 0
+		clear(s.mark)
+		clear(s.done)
+	}
+	s.epoch++
+	return s.epoch
+}
+
+// SubgraphF computes the longest-path F of the subgraph induced by ids:
+// for each v in ids, F(v) = heights[v] + max{F(u) : u in IN(v), u in ids},
+// walking only the in-rows of subset vertices. heights is indexed by
+// original vertex id (len == g.N()). Results are stored in s (read them
+// with s.F / s.PredMax); the maximum F over the subset is returned.
+//
+// ids must be free of duplicates and topologically ordered with respect to
+// g (whenever u precedes v in the DAG and both are in ids, u appears
+// first); any topological order of the full graph restricted to the subset
+// qualifies. Violations are detected and reported as errors.
+//
+// One call runs in O(len(ids) + edges touched) and performs no allocations,
+// which is what makes the DC recursion's per-level re-derivation of F
+// (Algorithm 1, line 2) affordable.
+func (g *Graph) SubgraphF(ids []int32, heights []float64, s *Scratch) (float64, error) {
+	g.Build()
+	if len(heights) != g.n {
+		return 0, fmt.Errorf("dag: %d heights for %d vertices", len(heights), g.n)
+	}
+	if s.Cap() < g.n {
+		return 0, fmt.Errorf("dag: scratch capacity %d below %d vertices", s.Cap(), g.n)
+	}
+	ep := s.nextEpoch()
+	for _, v := range ids {
+		if v < 0 || int(v) >= g.n {
+			return 0, fmt.Errorf("dag: subset vertex %d out of range [0,%d)", v, g.n)
+		}
+		if s.mark[v] == ep {
+			return 0, fmt.Errorf("dag: duplicate vertex %d in subset", v)
+		}
+		s.mark[v] = ep
+	}
+	var maxF float64
+	for _, v := range ids {
+		pm := 0.0
+		for _, u := range g.inAdj[g.inOff[v]:g.inOff[v+1]] {
+			if s.mark[u] != ep {
+				continue
+			}
+			if s.done[u] != ep {
+				return 0, fmt.Errorf("dag: subset not topologically ordered (%d before its predecessor %d)", v, u)
+			}
+			if s.f[u] > pm {
+				pm = s.f[u]
+			}
+		}
+		s.pred[v] = pm
+		fv := heights[v] + pm
+		s.f[v] = fv
+		s.done[v] = ep
+		if fv > maxF {
+			maxF = fv
+		}
+	}
+	return maxF, nil
+}

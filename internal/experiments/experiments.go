@@ -65,6 +65,17 @@ func Lookup(id string) (Experiment, bool) {
 
 const seeds = 5
 
+// DCWorkers is the worker count handed to precedence.DC by every experiment
+// that runs it (0 uses the library default). cmd/experiments exposes it as
+// -dc-workers; `make determinism` pins it to 1 and 8 and checks the tables
+// are byte-identical, the same contract RunGrid makes for Parallelism.
+var DCWorkers int
+
+// dcOpts returns DC options carrying the harness-wide worker count.
+func dcOpts() *precedence.DCOptions {
+	return &precedence.DCOptions{Workers: DCWorkers}
+}
+
 // Per-experiment base seeds for RunGrid (trial seed = base ^ trialIndex).
 const (
 	seedE1  int64 = 0xAB1<<8 | 0xE1
@@ -92,7 +103,7 @@ func E1(w io.Writer) error {
 		n := ns[t.Row]
 		layers := int(math.Max(2, math.Sqrt(float64(n))/2))
 		in := workload.DAGWorkload(rng, n, layers, 0.2)
-		p, st, err := precedence.DC(in, nil)
+		p, st, err := precedence.DC(in, dcOpts())
 		if err != nil {
 			return res{}, err
 		}
@@ -141,7 +152,7 @@ func E2(w io.Writer) error {
 		if err != nil {
 			return res{}, err
 		}
-		p, _, err := precedence.DC(in, nil)
+		p, _, err := precedence.DC(in, dcOpts())
 		if err != nil {
 			return res{}, err
 		}
@@ -522,11 +533,11 @@ func E9(w io.Writer) error {
 		opts *precedence.DCOptions
 	}
 	variants := []variant{
-		{"nfdh split=0.5 (paper)", nil},
-		{"ffdh split=0.5", &precedence.DCOptions{Subroutine: packing.FFDH}},
-		{"bldh split=0.5", &precedence.DCOptions{Subroutine: packing.BLDH}},
-		{"nfdh split=0.35", &precedence.DCOptions{SplitFraction: 0.35}},
-		{"nfdh split=0.65", &precedence.DCOptions{SplitFraction: 0.65}},
+		{"nfdh split=0.5 (paper)", dcOpts()},
+		{"ffdh split=0.5", &precedence.DCOptions{Subroutine: packing.FFDH, Workers: DCWorkers}},
+		{"bldh split=0.5", &precedence.DCOptions{Subroutine: packing.BLDH, Workers: DCWorkers}},
+		{"nfdh split=0.35", &precedence.DCOptions{SplitFraction: 0.35, Workers: DCWorkers}},
+		{"nfdh split=0.65", &precedence.DCOptions{SplitFraction: 0.65, Workers: DCWorkers}},
 	}
 	type res struct {
 		height, ratio float64

@@ -14,7 +14,7 @@ package fpga
 import (
 	"fmt"
 	"math"
-	"sort"
+	"slices"
 
 	"strippack/internal/geom"
 )
@@ -128,11 +128,20 @@ func (s *Schedule) Simulate() (*Stats, error) {
 			event{t: begin, start: true, idx: idx},
 			event{t: task.End(), start: false, idx: idx})
 	}
-	sort.Slice(evs, func(i, j int) bool {
-		if evs[i].t != evs[j].t {
-			return evs[i].t < evs[j].t
+	slices.SortFunc(evs, func(a, b event) int {
+		switch {
+		case a.t < b.t:
+			return -1
+		case a.t > b.t:
+			return 1
+		case a.start != b.start: // frees before claims
+			if !a.start {
+				return -1
+			}
+			return 1
+		default:
+			return a.idx - b.idx
 		}
-		return !evs[i].start && evs[j].start // frees before claims
 	})
 	owner := make([]int, d.Columns)
 	for c := range owner {
@@ -185,7 +194,20 @@ func (s *Schedule) ColumnTimeline() [][][2]float64 {
 		}
 	}
 	for c := range tl {
-		sort.Slice(tl[c], func(i, j int) bool { return tl[c][i][0] < tl[c][j][0] })
+		slices.SortFunc(tl[c], func(a, b [2]float64) int {
+			switch {
+			case a[0] < b[0]:
+				return -1
+			case a[0] > b[0]:
+				return 1
+			case a[1] < b[1]:
+				return -1
+			case a[1] > b[1]:
+				return 1
+			default:
+				return 0
+			}
+		})
 	}
 	return tl
 }

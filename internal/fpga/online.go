@@ -2,7 +2,7 @@ package fpga
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 
 	"strippack/internal/geom"
 )
@@ -94,8 +94,17 @@ func RunOnline(in *geom.Instance, d *Device) (*Schedule, error) {
 	for i := range order {
 		order[i] = i
 	}
-	sort.SliceStable(order, func(a, b int) bool {
-		return in.Rects[order[a]].Release < in.Rects[order[b]].Release
+	// Index tie-break keeps the reflection-free sort stable (release order,
+	// ties by id, as documented).
+	slices.SortFunc(order, func(a, b int) int {
+		switch {
+		case in.Rects[a].Release < in.Rects[b].Release:
+			return -1
+		case in.Rects[a].Release > in.Rects[b].Release:
+			return 1
+		default:
+			return a - b
+		}
 	})
 	o := NewOnlineScheduler(d)
 	for _, id := range order {

@@ -11,6 +11,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"slices"
 	"sort"
 )
 
@@ -293,13 +294,22 @@ func (p *Packing) OverlapSweep() error {
 			}
 		}
 	}
-	sort.Slice(evs, func(i, j int) bool {
-		if evs[i].y != evs[j].y {
-			return evs[i].y < evs[j].y
+	slices.SortFunc(evs, func(a, b event) int {
+		switch {
+		case a.y < b.y:
+			return -1
+		case a.y > b.y:
+			return 1
+		case a.start != b.start:
+			// Removals before insertions at equal y: a top edge touching a
+			// bottom edge is not an overlap.
+			if !a.start {
+				return -1
+			}
+			return 1
+		default:
+			return a.id - b.id
 		}
-		// Removals before insertions at equal y: a top edge touching a
-		// bottom edge is not an overlap.
-		return !evs[i].start && evs[j].start
 	})
 	var active intervalSet
 	for _, e := range evs {

@@ -23,7 +23,7 @@ package kr
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 
 	"strippack/internal/core/release"
 	"strippack/internal/geom"
@@ -152,7 +152,18 @@ func packNarrow(in *geom.Instance, p *geom.Packing, narrowIDs []int, areas []rel
 	w := in.StripWidth()
 	// Non-increasing height order (NFDH discipline).
 	order := append([]int(nil), narrowIDs...)
-	sort.SliceStable(order, func(a, b int) bool { return in.Rects[order[a]].H > in.Rects[order[b]].H })
+	// narrowIDs is id-ascending, so the id tie-break keeps the
+	// reflection-free sort stable.
+	slices.SortFunc(order, func(a, b int) int {
+		switch {
+		case in.Rects[a].H > in.Rects[b].H:
+			return -1
+		case in.Rects[a].H < in.Rects[b].H:
+			return 1
+		default:
+			return a - b
+		}
+	})
 	next := 0
 
 	// Fill each leftover region bottom-up.

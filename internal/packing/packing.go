@@ -100,6 +100,84 @@ func NFDH(width float64, rects []geom.Rect) (*Result, error) {
 	return res, nil
 }
 
+// IndexAlgorithm is a strip packer operating on a subset of a shared
+// rectangle slice selected by ids: it packs rects[id] for each id in ids and
+// writes each placement to pos[id] (pos must have len(rects) entries; other
+// entries are untouched). Positions are relative to the band base at y=0,
+// exactly like Algorithm. Because the caller owns both the selection and the
+// result array, no rectangles are copied and no result struct is allocated —
+// this is the fast path the DC recursion packs its middle bands through.
+// Implementations may reorder ids in place.
+type IndexAlgorithm func(width float64, rects []geom.Rect, ids []int32, pos []geom.Placement) (height float64, err error)
+
+// NFDHInto is the index-based NFDH: identical shelf discipline to NFDH, but
+// packing rects[id] for id in ids into the caller-owned pos array without
+// copying rectangles or allocating. ids is reordered in place (sorted by
+// non-increasing height, ties on id ascending). Returns the band height.
+func NFDHInto(width float64, rects []geom.Rect, ids []int32, pos []geom.Placement) (float64, error) {
+	if width <= 0 {
+		return 0, fmt.Errorf("packing: non-positive strip width %g", width)
+	}
+	if len(ids) == 0 {
+		return 0, nil
+	}
+	for _, id := range ids {
+		r := rects[id]
+		if !(r.W > 0) || !(r.H > 0) {
+			return 0, fmt.Errorf("packing: rect %d has non-positive dimensions", id)
+		}
+		if r.W > width+geom.Eps {
+			return 0, fmt.Errorf("packing: rect %d width %g exceeds strip %g", id, r.W, width)
+		}
+	}
+	slices.SortFunc(ids, func(a, b int32) int {
+		switch {
+		case rects[a].H > rects[b].H:
+			return -1
+		case rects[a].H < rects[b].H:
+			return 1
+		default:
+			return int(a - b)
+		}
+	})
+	shelfY := 0.0
+	shelfH := rects[ids[0]].H
+	x := 0.0
+	for _, id := range ids {
+		r := rects[id]
+		if x+r.W > width+geom.Eps {
+			// Close the shelf; the first rect of a shelf sets its height.
+			shelfY += shelfH
+			shelfH = r.H
+			x = 0
+		}
+		pos[id] = geom.Placement{X: x, Y: shelfY}
+		x += r.W
+	}
+	return shelfY + shelfH, nil
+}
+
+// IndexOf adapts a slice-based Algorithm to the index-based interface by
+// copying the selected rectangles into a fresh slice. It allocates per call
+// and exists so non-default DC subroutines (the E9 ablation variants) keep
+// working; the hot path uses NFDHInto directly.
+func IndexOf(alg Algorithm) IndexAlgorithm {
+	return func(width float64, rects []geom.Rect, ids []int32, pos []geom.Placement) (float64, error) {
+		sel := make([]geom.Rect, len(ids))
+		for k, id := range ids {
+			sel[k] = rects[id]
+		}
+		res, err := alg(width, sel)
+		if err != nil {
+			return 0, err
+		}
+		for k, id := range ids {
+			pos[id] = res.Pos[k]
+		}
+		return res.Height, nil
+	}
+}
+
 // shelf is an open FFDH shelf.
 type shelf struct {
 	y, h, x float64

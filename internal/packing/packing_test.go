@@ -292,3 +292,101 @@ func TestWiderStripNeverHurtsNFDH(t *testing.T) {
 		}
 	}
 }
+
+// TestNFDHIntoMatchesNFDH: on the identity id set the index-based fast path
+// must reproduce NFDH exactly (same tie-break: height desc, id asc).
+func TestNFDHIntoMatchesNFDH(t *testing.T) {
+	rng := rand.New(rand.NewSource(33))
+	for trial := 0; trial < 40; trial++ {
+		rects := randRects(rng, 1+rng.Intn(40), 0.9, 1.0)
+		want, err := NFDH(1, rects)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids := make([]int32, len(rects))
+		for i := range ids {
+			ids[i] = int32(i)
+		}
+		pos := make([]geom.Placement, len(rects))
+		h, err := NFDHInto(1, rects, ids, pos)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if h != want.Height {
+			t.Fatalf("trial %d: height %g, NFDH %g", trial, h, want.Height)
+		}
+		for i := range rects {
+			if pos[i] != want.Pos[i] {
+				t.Fatalf("trial %d: rect %d at %+v, NFDH %+v", trial, i, pos[i], want.Pos[i])
+			}
+		}
+	}
+}
+
+// TestNFDHIntoSubset packs a strict subset by index and validates the band
+// geometry on the selected rectangles only.
+func TestNFDHIntoSubset(t *testing.T) {
+	rng := rand.New(rand.NewSource(34))
+	for trial := 0; trial < 40; trial++ {
+		rects := randRects(rng, 5+rng.Intn(40), 0.9, 1.0)
+		var ids []int32
+		for i := range rects {
+			if rng.Float64() < 0.5 {
+				ids = append(ids, int32(i))
+			}
+		}
+		pos := make([]geom.Placement, len(rects))
+		h, err := NFDHInto(1, rects, ids, pos)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sel := make([]geom.Rect, len(ids))
+		res := &Result{Pos: make([]geom.Placement, len(ids)), Height: h}
+		for k, id := range ids {
+			sel[k] = rects[id]
+			res.Pos[k] = pos[id]
+		}
+		if err := Verify(1, sel, res); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		for _, id := range ids {
+			if top := pos[id].Y + rects[id].H; top > h+geom.Eps {
+				t.Fatalf("trial %d: rect %d tops at %g above band height %g", trial, id, top, h)
+			}
+		}
+	}
+}
+
+// TestNFDHIntoZeroAlloc pins the no-copy contract of the DC middle-band
+// fast path.
+func TestNFDHIntoZeroAlloc(t *testing.T) {
+	rng := rand.New(rand.NewSource(35))
+	rects := randRects(rng, 300, 0.4, 1.0)
+	ids := make([]int32, len(rects))
+	for i := range ids {
+		ids[i] = int32(i)
+	}
+	pos := make([]geom.Placement, len(rects))
+	allocs := testing.AllocsPerRun(20, func() {
+		if _, err := NFDHInto(1, rects, ids, pos); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("NFDHInto allocates %.1f times per call, want 0", allocs)
+	}
+}
+
+func TestNFDHIntoErrors(t *testing.T) {
+	rects := []geom.Rect{{W: 0.5, H: 1}, {W: 2, H: 1}}
+	pos := make([]geom.Placement, 2)
+	if _, err := NFDHInto(0, rects, []int32{0}, pos); err == nil {
+		t.Fatal("zero width accepted")
+	}
+	if _, err := NFDHInto(1, rects, []int32{1}, pos); err == nil {
+		t.Fatal("over-wide rect accepted")
+	}
+	if h, err := NFDHInto(1, rects, nil, pos); err != nil || h != 0 {
+		t.Fatalf("empty ids: h=%g err=%v", h, err)
+	}
+}
