@@ -20,6 +20,7 @@ import (
 	"strippack/internal/dag"
 	"strippack/internal/exact"
 	"strippack/internal/experiments"
+	"strippack/internal/fpga"
 	"strippack/internal/lp"
 	"strippack/internal/packing"
 	"strippack/internal/workload"
@@ -171,6 +172,45 @@ func BenchmarkSimplexConfigLP(b *testing.B) {
 	}
 }
 
+// BenchmarkSolveCGConfigLP solves the identical configuration LP as
+// BenchmarkSimplexConfigLP (same seed instance) by column generation, so
+// the pair is the direct dense-vs-CG comparison on one solve.
+func BenchmarkSolveCGConfigLP(b *testing.B) {
+	rng := rand.New(rand.NewSource(6))
+	in := workload.FPGA(rng, 30, 4, 3)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := release.SolveCG(in, release.CGOptions{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkE7CG solves the configuration LPs of the BENCH_1/BENCH_2 E7
+// grid (Ks 2..6, the same seeded FPGA instances the old enumerating
+// BenchmarkE7LPScale built and solved densely) through SolveCG, so its
+// ns/op is directly comparable with BenchmarkE7LPScale across trajectory
+// files. BenchmarkE7LPScale itself now measures the new, larger E7 table.
+func BenchmarkE7CG(b *testing.B) {
+	const seedE7 = 0xAB1<<8 | 0xE7 // experiments' E7 base seed
+	Ks := []int{2, 3, 4, 5, 6}
+	ins := make([]*Instance, len(Ks))
+	for i, K := range Ks {
+		rng := rand.New(rand.NewSource(seedE7 ^ int64(i)))
+		ins[i] = workload.FPGA(rng, 24, K, 3)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, in := range ins {
+			if _, _, err := release.SolveCG(in, release.CGOptions{}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
 func BenchmarkSimplexDense(b *testing.B) {
 	rng := rand.New(rand.NewSource(7))
 	n, m := 60, 30
@@ -221,6 +261,36 @@ func BenchmarkAPTASEndToEnd(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		if _, _, err := release.Pack(in, release.Options{Epsilon: 1.5, K: 3}); err != nil {
 			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkOnlineSubmit100k pushes 100k tasks through the online
+// scheduler on a 256-column device — the workload the segment-tree horizon
+// (O(log K)-ish submits instead of the old O(K·cols) window scan) exists
+// for.
+func BenchmarkOnlineSubmit100k(b *testing.B) {
+	const K = 256
+	const n = 100_000
+	rng := rand.New(rand.NewSource(11))
+	cols := make([]int, n)
+	durs := make([]float64, n)
+	rels := make([]float64, n)
+	rel := 0.0
+	for i := range cols {
+		cols[i] = 1 + rng.Intn(K/4)
+		durs[i] = 0.1 + rng.Float64()
+		rel += 0.01 * rng.Float64()
+		rels[i] = rel
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		o := fpga.NewOnlineScheduler(fpga.NewDevice(K))
+		for j := 0; j < n; j++ {
+			if _, err := o.Submit(j, "", cols[j], durs[j], rels[j]); err != nil {
+				b.Fatal(err)
+			}
 		}
 	}
 }

@@ -28,6 +28,8 @@ func main() {
 		"worker-pool width for trial fan-out (>=1; results are identical for any value)")
 	dcWorkers := flag.Int("dc-workers", 0,
 		"worker count for the DC divide-and-conquer recursion (0 = GOMAXPROCS; results are identical for any value)")
+	cgWorkers := flag.Int("cg-workers", 0,
+		"pricing worker count for the configuration-LP column generation (0 = GOMAXPROCS; results are identical for any value)")
 	flag.Parse()
 	if *parallel < 1 {
 		fmt.Fprintln(os.Stderr, "experiments: -parallel must be >= 1")
@@ -37,8 +39,13 @@ func main() {
 		fmt.Fprintln(os.Stderr, "experiments: -dc-workers must be >= 0")
 		os.Exit(2)
 	}
+	if *cgWorkers < 0 {
+		fmt.Fprintln(os.Stderr, "experiments: -cg-workers must be >= 0")
+		os.Exit(2)
+	}
 	experiments.Parallelism = *parallel
 	experiments.DCWorkers = *dcWorkers
+	experiments.CGWorkers = *cgWorkers
 	if *list {
 		for _, e := range experiments.All() {
 			fmt.Printf("%-4s %s\n", e.ID, e.Title)

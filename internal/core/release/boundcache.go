@@ -1,0 +1,80 @@
+package release
+
+import (
+	"encoding/binary"
+	"math"
+	"sync"
+
+	"strippack/internal/geom"
+)
+
+// BoundCache memoizes FractionalLowerBound solves keyed by an instance
+// fingerprint, deduplicating the repeated configuration-LP solves the
+// experiment grids issue: an ablation that sweeps a parameter (E6's ε,
+// E8's base instance across R rows) re-solves the identical instance once
+// per grid cell without it. The cache is safe for concurrent use from
+// RunGrid workers, and because SolveCG is deterministic, memoization never
+// changes a result — only how often it is computed.
+type BoundCache struct {
+	opts CGOptions
+
+	mu     sync.Mutex
+	bounds map[string]float64
+	hits   int
+	misses int
+}
+
+// NewBoundCache returns an empty cache whose solves use the given
+// column-generation options.
+func NewBoundCache(opts CGOptions) *BoundCache {
+	return &BoundCache{opts: opts, bounds: make(map[string]float64)}
+}
+
+// fingerprint is the cache key: strip width and every rectangle's
+// (width, height, release) bit pattern in order. Rect order is part of the
+// key — reordering an instance does not change OPTf, but the experiments
+// only ever repeat byte-identical instances, and a conservative key can
+// never alias two different ones.
+func fingerprint(in *geom.Instance) string {
+	b := make([]byte, 0, 8*(1+3*len(in.Rects)))
+	put := func(f float64) {
+		b = binary.LittleEndian.AppendUint64(b, math.Float64bits(f))
+	}
+	put(in.StripWidth())
+	for _, r := range in.Rects {
+		put(r.W)
+		put(r.H)
+		put(r.Release)
+	}
+	return string(b)
+}
+
+// FractionalLowerBound returns OPTf of the instance, solving via SolveCG
+// on a miss and replaying the memoized height on a hit. Errors are not
+// cached.
+func (c *BoundCache) FractionalLowerBound(in *geom.Instance) (float64, error) {
+	key := fingerprint(in)
+	c.mu.Lock()
+	if h, ok := c.bounds[key]; ok {
+		c.hits++
+		c.mu.Unlock()
+		return h, nil
+	}
+	c.misses++
+	c.mu.Unlock()
+	fs, _, err := SolveCG(in, c.opts)
+	if err != nil {
+		return 0, err
+	}
+	c.mu.Lock()
+	c.bounds[key] = fs.Height
+	c.mu.Unlock()
+	return fs.Height, nil
+}
+
+// Stats reports cache hits and misses so far.
+func (c *BoundCache) Stats() (hits, misses int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses
+}

@@ -102,20 +102,20 @@ func TestBoundingFractionalSandwich(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		optIn, err := FractionalLowerBound(in, 0)
+		optIn, err := FractionalLowerBound(in, CGOptions{})
 		if err != nil {
 			t.Fatal(err)
 		}
-		optG, err := FractionalLowerBound(grouped, 0)
+		optG, err := FractionalLowerBound(grouped, CGOptions{})
 		if err != nil {
 			t.Fatal(err)
 		}
-		optSup, err := FractionalLowerBound(sup, 0)
+		optSup, err := FractionalLowerBound(sup, CGOptions{})
 		if err != nil {
 			t.Fatal(err)
 		}
 		if inf.N() > 0 {
-			optInf, err := FractionalLowerBound(inf, 0)
+			optInf, err := FractionalLowerBound(inf, CGOptions{})
 			if err != nil {
 				t.Fatal(err)
 			}

@@ -77,8 +77,29 @@ func (c Config) Items() int {
 }
 
 // CountConfigs returns only the number of configurations (used by the
-// LP-scaling experiment E7 without allocating them all).
+// LP-scaling experiment E7 without allocating them all). When the widths
+// share a common unit (FPGA columns), the count is memoized on
+// (width index, remaining capacity in units) — an O(W·L) dynamic program
+// instead of the exponential recursion, which lets E7 sweep K far past the
+// enumeration's practical cap. Continuous widths fall back to the
+// recursion.
 func CountConfigs(widths []float64, stripWidth float64) int {
+	if wu, L, ok := quantizeWidths(stripWidth, widths); ok {
+		// cur[u] starts as N(W, u) = 1 (the empty configuration) and after
+		// processing width i holds N(i, u) = N(i+1, u) + N(i, u-wu[i]):
+		// the multisets over widths[i:] fitting in u units.
+		cur := make([]int, L+1)
+		for u := range cur {
+			cur[u] = 1
+		}
+		for i := len(widths) - 1; i >= 0; i-- {
+			w := int(wu[i])
+			for u := w; u <= L; u++ {
+				cur[u] += cur[u-w]
+			}
+		}
+		return cur[L] - 1
+	}
 	var rec func(i int, remaining float64) int
 	rec = func(i int, remaining float64) int {
 		if i == len(widths) {

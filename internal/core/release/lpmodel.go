@@ -2,6 +2,7 @@ package release
 
 import (
 	"fmt"
+	"sort"
 
 	"strippack/internal/geom"
 	"strippack/internal/lp"
@@ -14,11 +15,15 @@ import (
 type Model struct {
 	Widths   []float64 // distinct widths, ascending
 	Releases []float64 // ϱ_0 … ϱ_R (ϱ_0 = 0)
-	Configs  []Config
+	// Configs are the configurations the model ranges over: the full
+	// enumeration for BuildModel, only the generated ones for SolveCG.
+	Configs []Config
 	// B[j][i] = total height of rectangles with release ϱ_j and width
 	// Widths[i] (the paper's vector B_j).
 	B [][]float64
-	// Problem is the assembled LP; variable x_{q,j} has index q*(R+1)+j.
+	// Problem is the eagerly assembled LP; variable x_{q,j} has index
+	// q*(R+1)+j. It is nil on models produced by SolveCG, whose restricted
+	// master lives inside the solver instead.
 	Problem *lp.Problem
 }
 
@@ -28,12 +33,13 @@ func (m *Model) NumPhases() int { return len(m.Releases) }
 // VarIndex returns the LP column of x_{q,j}.
 func (m *Model) VarIndex(q, j int) int { return q*m.NumPhases() + j }
 
-// widthIndex finds the index of w in m.Widths with tolerance.
+// widthIndex finds the index of w in m.Widths (sorted ascending) by binary
+// search with tolerance: the first width >= w-Eps is the only candidate,
+// since distinct widths are more than Eps apart.
 func (m *Model) widthIndex(w float64) (int, error) {
-	for i, wi := range m.Widths {
-		if w <= wi+geom.Eps && w >= wi-geom.Eps {
-			return i, nil
-		}
+	i := sort.SearchFloat64s(m.Widths, w-geom.Eps)
+	if i < len(m.Widths) && m.Widths[i] <= w+geom.Eps {
+		return i, nil
 	}
 	return 0, fmt.Errorf("release: width %g not among the %d distinct widths", w, len(m.Widths))
 }
@@ -116,13 +122,14 @@ func BuildModel(in *geom.Instance, maxConfigs int) (*Model, error) {
 	return m, nil
 }
 
-// phaseOfRelease returns the largest j with Releases[j] <= r (tolerant).
+// phaseOfRelease returns the largest j with Releases[j] <= r (tolerant) by
+// binary search over the ascending release values.
 func phaseOfRelease(releases []float64, r float64) int {
-	j := 0
-	for k, v := range releases {
-		if v <= r+geom.Eps {
-			j = k
-		}
+	j := sort.Search(len(releases), func(k int) bool {
+		return releases[k] > r+geom.Eps
+	}) - 1
+	if j < 0 {
+		j = 0
 	}
 	return j
 }
@@ -187,12 +194,13 @@ func SolveModel(m *Model, exact bool) (*FractionalSolution, error) {
 // (its own widths and release times, no rounding). Because fractional
 // packing relaxes the integral problem, the returned height is a valid
 // lower bound on OPT(P); experiments use it as the ratio denominator.
-func FractionalLowerBound(in *geom.Instance, maxConfigs int) (float64, error) {
-	m, err := BuildModel(in, maxConfigs)
-	if err != nil {
-		return 0, err
-	}
-	fs, err := SolveModel(m, false)
+//
+// The solve goes through SolveCG with the given options, so no
+// configuration enumeration happens (the dense oracle path remains
+// reachable via BuildModel/SolveModel). BoundCache memoizes repeated
+// solves across an experiment grid.
+func FractionalLowerBound(in *geom.Instance, opts CGOptions) (float64, error) {
+	fs, _, err := SolveCG(in, opts)
 	if err != nil {
 		return 0, err
 	}

@@ -10,11 +10,21 @@
 //     non-increasing width and round widths up to group thresholds, leaving
 //     at most W distinct widths overall and increasing OPTf by at most
 //     (1 + (R+1)K/W).
-//  3. Configuration LP (Lemma 3.3): enumerate width multisets fitting the
-//     strip, solve for per-phase configuration heights; simplex returns a
-//     basic optimum with at most (W+1)(R+1) occurrences.
+//  3. Configuration LP (Lemma 3.3): solve for per-phase configuration
+//     heights; simplex returns a basic optimum with at most (W+1)(R+1)
+//     occurrences.
 //  4. ToIntegral (Lemma 3.4): realize each occurrence as reserved columns
 //     and fill them greedily, adding at most 1 per occurrence to the height.
+//
+// Step 3 has two implementations. BuildModel/SolveModel enumerate every
+// width multiset fitting the strip (exponential in K) and solve the dense
+// LP — the reference oracle, also available in exact rational arithmetic.
+// SolveCG (cg.go) is the production path: delayed column generation that
+// starts from the single-width configurations and prices new ones against
+// the master duals with a bounded-knapsack dynamic program per phase, so
+// configurations are generated on demand and never enumerated. Repeated
+// FractionalLowerBound solves across an experiment grid dedup through
+// BoundCache.
 package release
 
 import (
@@ -270,14 +280,28 @@ func DistinctWidths(in *geom.Instance) []float64 {
 			out = append(out, w)
 		}
 	}
-	return append([]float64(nil), out...)
+	return out
 }
 
 // DistinctReleases returns the sorted distinct release times including 0.
+// (Exact-equality dedup, matching the release-class partition of classes;
+// sort+dedup instead of the map so the LP hot path stays cheap.)
 func DistinctReleases(in *geom.Instance) []float64 {
-	vals, _ := classes(in)
-	if len(vals) == 0 || vals[0] > geom.Eps {
-		vals = append([]float64{0}, vals...)
+	vals := make([]float64, 0, in.N()+1)
+	for _, r := range in.Rects {
+		vals = append(vals, r.Release)
 	}
-	return vals
+	slices.Sort(vals)
+	out := vals[:0]
+	for _, v := range vals {
+		if len(out) == 0 || v != out[len(out)-1] {
+			out = append(out, v)
+		}
+	}
+	if len(out) == 0 || out[0] > geom.Eps {
+		out = append(out, 0)
+		copy(out[1:], out[:len(out)-1])
+		out[0] = 0
+	}
+	return out
 }

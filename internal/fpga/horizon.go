@@ -1,0 +1,176 @@
+package fpga
+
+import (
+	"slices"
+
+	"strippack/internal/geom"
+)
+
+// horizonTree is a lazy segment tree over the device columns holding the
+// time each column becomes free. It supports the two primitives the online
+// scheduler needs — range-assign (a placed task raises its columns to its
+// end time) and range-max (the earliest start of a column window) — in
+// O(log K), plus bestWindow, which finds the placement the previous
+// implementation found by scanning all K·cols cells: the leftmost window
+// minimizing the window maximum.
+//
+// bestWindow exploits that assignments keep the horizon piecewise
+// constant: the tree is walked once to extract the maximal uniform runs
+// (a node with a pending assignment, or with max == min, is emitted
+// without descending), window maxima only change where a window edge
+// crosses a run boundary, and only those O(runs) candidate windows are
+// evaluated with range-max queries. A Submit therefore costs
+// O((S + log K)·log K) with S = current runs — S is bounded by the tasks
+// in flight, not by K, which is what unlocks large-K sweeps in E12.
+type horizonTree struct {
+	n    int // columns
+	size int // smallest power of two >= n
+	mx   []float64
+	mn   []float64
+	set  []float64 // pending assignment per node
+	has  []bool
+
+	runs []hrun // bestWindow scratch
+	cand []int
+}
+
+// hrun is a maximal constant run [start, end) of the horizon.
+type hrun struct {
+	start, end int
+	val        float64
+}
+
+func newHorizonTree(n int) *horizonTree {
+	size := 1
+	for size < n {
+		size <<= 1
+	}
+	return &horizonTree{
+		n: n, size: size,
+		mx:  make([]float64, 2*size),
+		mn:  make([]float64, 2*size),
+		set: make([]float64, 2*size),
+		has: make([]bool, 2*size),
+	}
+}
+
+// push propagates a pending assignment to the children of node i.
+func (t *horizonTree) push(i int) {
+	if !t.has[i] {
+		return
+	}
+	v := t.set[i]
+	for _, c := range [2]int{2 * i, 2*i + 1} {
+		t.set[c], t.has[c] = v, true
+		t.mx[c], t.mn[c] = v, v
+	}
+	t.has[i] = false
+}
+
+// assign sets horizon[l:r) = v.
+func (t *horizonTree) assign(l, r int, v float64) {
+	t.doAssign(1, 0, t.size, l, r, v)
+}
+
+func (t *horizonTree) doAssign(i, lo, hi, l, r int, v float64) {
+	if r <= lo || hi <= l {
+		return
+	}
+	if l <= lo && hi <= r {
+		t.set[i], t.has[i] = v, true
+		t.mx[i], t.mn[i] = v, v
+		return
+	}
+	t.push(i)
+	mid := (lo + hi) / 2
+	t.doAssign(2*i, lo, mid, l, r, v)
+	t.doAssign(2*i+1, mid, hi, l, r, v)
+	t.mx[i] = max(t.mx[2*i], t.mx[2*i+1])
+	t.mn[i] = min(t.mn[2*i], t.mn[2*i+1])
+}
+
+// maxRange returns max(horizon[l:r)).
+func (t *horizonTree) maxRange(l, r int) float64 {
+	return t.doMax(1, 0, t.size, l, r)
+}
+
+func (t *horizonTree) doMax(i, lo, hi, l, r int) float64 {
+	if r <= lo || hi <= l {
+		return 0
+	}
+	if l <= lo && hi <= r {
+		return t.mx[i]
+	}
+	t.push(i)
+	mid := (lo + hi) / 2
+	return max(t.doMax(2*i, lo, mid, l, r), t.doMax(2*i+1, mid, hi, l, r))
+}
+
+// maxAll is the horizon-wide maximum (the makespan).
+func (t *horizonTree) maxAll() float64 {
+	if t.n == t.size {
+		return t.mx[1]
+	}
+	return t.maxRange(0, t.n)
+}
+
+// appendRuns extracts the maximal constant runs of horizon[0:n) in order,
+// merging adjacent equal values across node boundaries.
+func (t *horizonTree) appendRuns(i, lo, hi int) {
+	if lo >= t.n {
+		return
+	}
+	if t.has[i] || t.mx[i] == t.mn[i] || hi-lo == 1 {
+		end := min(hi, t.n)
+		v := t.mx[i]
+		if k := len(t.runs) - 1; k >= 0 && t.runs[k].val == v && t.runs[k].end == lo {
+			t.runs[k].end = end
+			return
+		}
+		t.runs = append(t.runs, hrun{start: lo, end: end, val: v})
+		return
+	}
+	mid := (lo + hi) / 2
+	t.appendRuns(2*i, lo, mid)
+	t.appendRuns(2*i+1, mid, hi)
+}
+
+// bestWindow returns the leftmost width-column window minimizing
+// max(floor, window max) — exactly the placement rule of the O(K·cols)
+// scan it replaces, including its Eps tie tolerance: a later window wins
+// only when it starts more than Eps earlier.
+func (t *horizonTree) bestWindow(width int, floor float64) (start float64, col int) {
+	t.runs = t.runs[:0]
+	t.appendRuns(1, 0, t.size)
+	last := t.n - width
+	// Window maxima change only when a window edge crosses a run boundary,
+	// so each piece of the window-max step function starts at a run start
+	// or at (run start - width); evaluating those left endpoints in order
+	// reproduces the full scan.
+	t.cand = t.cand[:0]
+	for _, r := range t.runs {
+		if r.start <= last {
+			t.cand = append(t.cand, r.start)
+		}
+		if c := r.start - width; c >= 0 {
+			t.cand = append(t.cand, c)
+		}
+	}
+	t.cand = append(t.cand, last)
+	slices.Sort(t.cand)
+	bestCol, prev := -1, -1
+	for _, c := range t.cand {
+		if c == prev {
+			continue // dedup after sort
+		}
+		prev = c
+		v := t.maxRange(c, c+width)
+		if v < floor {
+			v = floor
+		}
+		if bestCol == -1 || v < start-geom.Eps {
+			start, bestCol = v, c
+		}
+	}
+	return start, bestCol
+}

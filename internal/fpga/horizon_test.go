@@ -1,0 +1,143 @@
+package fpga
+
+import (
+	"math/rand"
+	"testing"
+
+	"strippack/internal/geom"
+)
+
+// refScheduler is the pre-segment-tree O(K·cols) implementation, kept as
+// the behavioral reference: the tree must reproduce its placements bit for
+// bit.
+type refScheduler struct {
+	device  *Device
+	horizon []float64
+}
+
+func (o *refScheduler) submit(cols int, duration, release float64) (int, float64) {
+	bestStart := -1.0
+	bestCol := -1
+	for c := 0; c+cols <= o.device.Columns; c++ {
+		start := release
+		for k := c; k < c+cols; k++ {
+			if o.horizon[k] > start {
+				start = o.horizon[k]
+			}
+		}
+		start += o.device.ReconfigDelay
+		if bestCol == -1 || start < bestStart-geom.Eps {
+			bestStart = start
+			bestCol = c
+		}
+	}
+	for k := bestCol; k < bestCol+cols; k++ {
+		o.horizon[k] = bestStart + duration
+	}
+	return bestCol, bestStart
+}
+
+// TestSubmitMatchesReferenceScan: random task streams on devices of many
+// sizes place identically under the segment tree and the full scan.
+func TestSubmitMatchesReferenceScan(t *testing.T) {
+	rng := rand.New(rand.NewSource(61))
+	for trial := 0; trial < 60; trial++ {
+		K := 1 + rng.Intn(40)
+		d := &Device{Columns: K}
+		if rng.Intn(2) == 0 {
+			d.ReconfigDelay = 0.25
+		}
+		o := NewOnlineScheduler(d)
+		ref := &refScheduler{device: d, horizon: make([]float64, K)}
+		release := 0.0
+		for s := 0; s < 80; s++ {
+			cols := 1 + rng.Intn(K)
+			dur := 0.1 + rng.Float64()
+			if rng.Intn(3) == 0 {
+				release += rng.Float64()
+			}
+			task, err := o.Submit(s, "", cols, dur, release)
+			if err != nil {
+				t.Fatal(err)
+			}
+			wc, ws := ref.submit(cols, dur, release)
+			if task.FirstCol != wc || task.Start != ws {
+				t.Fatalf("trial %d submit %d (K=%d cols=%d rel=%g): tree (%d, %g) vs scan (%d, %g)",
+					trial, s, K, cols, release, task.FirstCol, task.Start, wc, ws)
+			}
+		}
+		// Makespan agrees with the reference horizon.
+		var want float64
+		for _, h := range ref.horizon {
+			if h > want {
+				want = h
+			}
+		}
+		if got := o.Makespan(); got != want {
+			t.Fatalf("trial %d: makespan %g vs reference %g", trial, got, want)
+		}
+	}
+}
+
+// TestHorizonTreePrimitives exercises assign/max on ranges directly
+// against a flat slice.
+func TestHorizonTreePrimitives(t *testing.T) {
+	rng := rand.New(rand.NewSource(67))
+	for trial := 0; trial < 40; trial++ {
+		n := 1 + rng.Intn(70)
+		tr := newHorizonTree(n)
+		flat := make([]float64, n)
+		for op := 0; op < 120; op++ {
+			l := rng.Intn(n)
+			r := l + 1 + rng.Intn(n-l)
+			if rng.Intn(2) == 0 {
+				v := rng.Float64() * 10
+				tr.assign(l, r, v)
+				for k := l; k < r; k++ {
+					flat[k] = v
+				}
+			} else {
+				want := 0.0
+				for k := l; k < r; k++ {
+					if flat[k] > want {
+						want = flat[k]
+					}
+				}
+				if got := tr.maxRange(l, r); got != want {
+					t.Fatalf("trial %d: maxRange(%d,%d) = %g, want %g", trial, l, r, got, want)
+				}
+			}
+		}
+	}
+}
+
+// TestRunOnlineLargeK: the segment-tree path handles device widths far
+// beyond the old scan's comfort zone and still yields valid schedules.
+func TestRunOnlineLargeK(t *testing.T) {
+	rng := rand.New(rand.NewSource(71))
+	K := 256
+	rects := make([]geom.Rect, 300)
+	for i := range rects {
+		cols := 1 + rng.Intn(K/2)
+		rects[i] = geom.Rect{
+			W:       float64(cols) / float64(K),
+			H:       0.1 + rng.Float64(),
+			Release: 3 * rng.Float64(),
+		}
+	}
+	in := geom.NewInstance(1, rects)
+	sched, err := RunOnline(in, NewDevice(K))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sched.Simulate(); err != nil {
+		t.Fatal(err)
+	}
+	p, err := sched.ToPacking(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}

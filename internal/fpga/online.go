@@ -15,18 +15,22 @@ import (
 // windows wide enough, the one that lets the task start earliest, breaking
 // ties by the leftmost window.
 //
+// The horizon lives in a segment tree (range-max query + range assign), so
+// a Submit costs O((runs + log K)·log K) instead of the former O(K·cols)
+// full scan — see horizonTree. Placements are identical to the scan's.
+//
 // The scheduler is non-clairvoyant: it never uses information about tasks
 // not yet released, making it a fair online baseline for the offline APTAS.
 type OnlineScheduler struct {
 	device *Device
-	// horizon[c] is the time column c becomes free.
-	horizon []float64
+	// horizon holds, per column, the time it becomes free.
+	horizon *horizonTree
 	tasks   []Task
 }
 
 // NewOnlineScheduler returns a scheduler for the device.
 func NewOnlineScheduler(d *Device) *OnlineScheduler {
-	return &OnlineScheduler{device: d, horizon: make([]float64, d.Columns)}
+	return &OnlineScheduler{device: d, horizon: newHorizonTree(d.Columns)}
 }
 
 // Submit places one task (cols contiguous columns for duration time units,
@@ -39,25 +43,10 @@ func (o *OnlineScheduler) Submit(id int, name string, cols int, duration, releas
 	if duration <= 0 {
 		return Task{}, fmt.Errorf("fpga: task %d has non-positive duration", id)
 	}
-	bestStart := -1.0
-	bestCol := -1
-	for c := 0; c+cols <= o.device.Columns; c++ {
-		start := release
-		for k := c; k < c+cols; k++ {
-			if o.horizon[k] > start {
-				start = o.horizon[k]
-			}
-		}
-		start += o.device.ReconfigDelay
-		if bestCol == -1 || start < bestStart-geom.Eps {
-			bestStart = start
-			bestCol = c
-		}
-	}
+	bestStart, bestCol := o.horizon.bestWindow(cols, release)
+	bestStart += o.device.ReconfigDelay
 	t := Task{ID: id, Name: name, FirstCol: bestCol, Cols: cols, Start: bestStart, Duration: duration}
-	for k := bestCol; k < bestCol+cols; k++ {
-		o.horizon[k] = t.End()
-	}
+	o.horizon.assign(bestCol, bestCol+cols, t.End())
 	o.tasks = append(o.tasks, t)
 	return t, nil
 }
@@ -69,13 +58,7 @@ func (o *OnlineScheduler) Schedule() *Schedule {
 
 // Makespan returns the latest column horizon.
 func (o *OnlineScheduler) Makespan() float64 {
-	var m float64
-	for _, h := range o.horizon {
-		if h > m {
-			m = h
-		}
-	}
-	return m
+	return o.horizon.maxAll()
 }
 
 // RunOnline replays a release-time instance through the online scheduler in

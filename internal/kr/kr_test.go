@@ -123,7 +123,7 @@ func TestRatioReasonableOnWideInstances(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		optf, err := release.FractionalLowerBound(in, 0)
+		optf, err := release.FractionalLowerBound(in, release.CGOptions{})
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -35,9 +35,9 @@ func SolveExact(p *Problem) (*Solution, error) {
 		for j := range row {
 			row[j] = new(big.Rat)
 		}
-		for j, v := range c.Coeffs {
+		c.forEach(func(j int, v float64) {
 			row[j].SetFloat64(v)
-		}
+		})
 		rhs := new(big.Rat).SetFloat64(c.RHS)
 		op := c.Op
 		if rhs.Sign() < 0 {

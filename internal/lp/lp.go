@@ -1,18 +1,44 @@
-// Package lp implements a dense two-phase primal simplex solver for linear
-// programs in the form
+// Package lp implements primal simplex solvers for linear programs in the
+// form
 //
 //	minimize  c·x
 //	subject to  A_i·x (<=|>=|=) b_i,   x >= 0.
 //
 // It is used by the release-time APTAS to solve the configuration LP of
-// Lemma 3.3. Simplex returns a *basic* optimal solution, which is exactly
-// what the APTAS needs: a basic optimum has at most as many nonzero
+// Lemma 3.3. All solvers return a *basic* optimal solution, which is
+// exactly what the APTAS needs: a basic optimum has at most as many nonzero
 // variables as constraints, giving the (W+1)(R+1) bound on distinct
 // configuration occurrences.
 //
-// The float64 solver uses Bland's rule (no cycling) with an absolute
-// tolerance. An exact big.Rat solver with the same semantics is provided for
-// cross-validation on small programs.
+// Three solvers share the Problem/Solution types:
+//
+//   - Solve: the dense two-phase tableau simplex. Simple, battle-tested,
+//     O(rows·cols) memory; kept as the reference oracle.
+//   - SolveExact: the same semantics in exact big.Rat arithmetic, for
+//     cross-validation on small programs.
+//   - SolveSparse / Revised: a revised simplex over a sparse column-major
+//     matrix. Rows may be added with AddSparseConstraint as (index, value)
+//     pairs; only the m×m basis inverse is kept dense, so memory is
+//     O(nnz + m²) instead of O(rows·cols). The Revised form accepts new
+//     columns between Solve calls and re-optimizes from the current basis,
+//     which is what the configuration-LP column generation in
+//     internal/core/release needs.
+//
+// Sparse layout: a Constraint added via AddSparseConstraint stores strictly
+// ascending column indices Idx with matching values Val and a nil Coeffs;
+// the dense solvers scatter such rows on demand, so the same Problem can be
+// handed to any solver. The revised solver transposes the rows once into
+// compressed sparse columns and prices columns with sparse dot products.
+//
+// Dual extraction: SolveSparse and Revised.Solve report the simplex
+// multipliers y = c_B·B⁻¹ on Solution.Duals, one entry per constraint in
+// insertion order, with signs relative to the constraints as given: the
+// reduced cost of any column a with cost c is exactly c − y·a. At an
+// optimum y is feasible for the dual (y_i >= 0 for GE rows, <= 0 for LE
+// rows), which is what Gilmore–Gomory pricing consumes.
+//
+// The float64 solvers use Bland's rule (no cycling) with an absolute
+// tolerance.
 package lp
 
 import (
@@ -43,11 +69,44 @@ func (r Relation) String() string {
 	return "?"
 }
 
-// Constraint is one row of the program.
+// Constraint is one row of the program, stored either dense (Coeffs) or
+// sparse (Idx/Val with Coeffs nil). Every solver accepts both forms.
 type Constraint struct {
 	Coeffs []float64
-	Op     Relation
-	RHS    float64
+	// Idx/Val is the sparse form: strictly ascending column indices and
+	// their coefficients. Only consulted when Coeffs is nil.
+	Idx []int32
+	Val []float64
+	Op  Relation
+	RHS float64
+}
+
+// scatter writes the row's coefficients into dst (length >= NumVars), which
+// must be zeroed by the caller beforehand.
+func (c *Constraint) scatter(dst []float64) {
+	if c.Coeffs != nil {
+		copy(dst, c.Coeffs)
+		return
+	}
+	for k, j := range c.Idx {
+		dst[j] = c.Val[k]
+	}
+}
+
+// forEach visits the nonzero coefficients of the row in ascending column
+// order.
+func (c *Constraint) forEach(fn func(j int, v float64)) {
+	if c.Coeffs != nil {
+		for j, v := range c.Coeffs {
+			if v != 0 {
+				fn(j, v)
+			}
+		}
+		return
+	}
+	for k, j := range c.Idx {
+		fn(int(j), c.Val[k])
+	}
 }
 
 // Problem is a linear program over NumVars non-negative variables.
@@ -68,6 +127,32 @@ func (p *Problem) AddConstraint(coeffs []float64, op Relation, rhs float64) erro
 		return fmt.Errorf("lp: constraint has %d coefficients, want %d", len(coeffs), p.NumVars)
 	}
 	c := Constraint{Coeffs: append([]float64(nil), coeffs...), Op: op, RHS: rhs}
+	p.Constraints = append(p.Constraints, c)
+	return nil
+}
+
+// AddSparseConstraint appends a row given as (index, value) pairs. Indices
+// must be strictly ascending and within [0, NumVars); both slices are
+// copied. The row is stored sparse: the dense solvers scatter it on demand
+// and the revised solver consumes it directly.
+func (p *Problem) AddSparseConstraint(idx []int32, val []float64, op Relation, rhs float64) error {
+	if len(idx) != len(val) {
+		return fmt.Errorf("lp: sparse constraint has %d indices for %d values", len(idx), len(val))
+	}
+	for k, j := range idx {
+		if j < 0 || int(j) >= p.NumVars {
+			return fmt.Errorf("lp: sparse index %d out of range [0,%d)", j, p.NumVars)
+		}
+		if k > 0 && j <= idx[k-1] {
+			return fmt.Errorf("lp: sparse indices not strictly ascending at position %d", k)
+		}
+	}
+	c := Constraint{
+		Idx: append([]int32(nil), idx...),
+		Val: append([]float64(nil), val...),
+		Op:  op,
+		RHS: rhs,
+	}
 	p.Constraints = append(p.Constraints, c)
 	return nil
 }
@@ -99,6 +184,11 @@ type Solution struct {
 	Status    Status
 	X         []float64 // primal values, length NumVars (nil unless Optimal)
 	Objective float64   // c·X (0 unless Optimal)
+	// Duals holds the simplex multipliers y = c_B·B⁻¹ per constraint, in
+	// insertion order, such that the reduced cost of any column a with cost
+	// c is c − y·a. Populated by SolveSparse/Revised.Solve only (nil from
+	// the dense solvers, and nil unless Optimal).
+	Duals []float64
 	// BasicCount is the number of structural variables that are strictly
 	// positive in the returned basic solution.
 	BasicCount int
@@ -146,7 +236,7 @@ func Solve(p *Problem) (*Solution, error) {
 	slackIdx := n
 	for i, c := range p.Constraints {
 		row := make([]float64, cols)
-		copy(row, c.Coeffs)
+		c.scatter(row)
 		rhs := c.RHS
 		op := c.Op
 		if rhs < 0 {
