@@ -26,8 +26,8 @@ bench-smoke:
 
 # Full measurement run recorded as JSON (see cmd/benchjson). Bump the
 # output name when recording a new trajectory point:
-#   make bench-record BENCH_OUT=BENCH_4.json
-BENCH_OUT ?= BENCH_3.json
+#   make bench-record BENCH_OUT=BENCH_5.json
+BENCH_OUT ?= BENCH_4.json
 bench-record:
 	$(GO) run ./cmd/benchjson -out $(BENCH_OUT) -bench . -benchtime 2s
 
@@ -37,15 +37,16 @@ fuzz:
 
 # The parallel engines' determinism contracts: experiment tables must be
 # byte-identical regardless of the trial-pool width (-parallel), the DC
-# recursion's worker count (-dc-workers) and the configuration-LP pricing
-# fan-out (-cg-workers). Runs in a private temp dir so concurrent
-# invocations on a shared host cannot clobber each other.
+# recursion's worker count (-dc-workers), the configuration-LP pricing
+# fan-out (-cg-workers) and E13's per-policy simulation fan-out
+# (-churn-workers). Runs in a private temp dir so concurrent invocations
+# on a shared host cannot clobber each other.
 determinism:
 	@dir=$$(mktemp -d) && trap 'rm -rf "$$dir"' EXIT && \
 	$(GO) build -o $$dir/experiments ./cmd/experiments && \
-	$$dir/experiments -parallel 1 -dc-workers 1 -cg-workers 1 > $$dir/tables-serial.txt && \
-	$$dir/experiments -parallel 8 -dc-workers 8 -cg-workers 8 > $$dir/tables-par.txt && \
-	$$dir/experiments -parallel 1 -dc-workers 8 -cg-workers 8 > $$dir/tables-dcpar.txt && \
+	$$dir/experiments -parallel 1 -dc-workers 1 -cg-workers 1 -churn-workers 1 > $$dir/tables-serial.txt && \
+	$$dir/experiments -parallel 8 -dc-workers 8 -cg-workers 8 -churn-workers 3 > $$dir/tables-par.txt && \
+	$$dir/experiments -parallel 1 -dc-workers 8 -cg-workers 8 -churn-workers 3 > $$dir/tables-dcpar.txt && \
 	cmp $$dir/tables-serial.txt $$dir/tables-par.txt && \
 	cmp $$dir/tables-serial.txt $$dir/tables-dcpar.txt && \
-	echo "determinism: tables byte-identical across -parallel, -dc-workers and -cg-workers"
+	echo "determinism: tables byte-identical across -parallel, -dc-workers, -cg-workers and -churn-workers"

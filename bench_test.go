@@ -295,6 +295,39 @@ func BenchmarkOnlineSubmit100k(b *testing.B) {
 	}
 }
 
+// benchChurn replays a 100k-task churn stream (256-column device, 70%
+// offered load, bounded lifetimes) through the completion engine under one
+// policy — the steady-state OS workload the reclamation subsystem exists
+// for. The replay includes the discrete-event re-verification RunChurn
+// always performs. 0.70 sits below the device's fragmentation-limited
+// effective capacity (~0.75 for tasks up to K/2 wide), keeping the
+// waiting backlog bounded; past it the queue grows without bound and the
+// per-completion compaction pass turns quadratic (see DESIGN.md).
+func benchChurn(b *testing.B, p fpga.Policy) {
+	const K = 256
+	const n = 100_000
+	rng := rand.New(rand.NewSource(13))
+	tasks, err := workload.Churn(rng, n, K, 0.70, 0.3)
+	if err != nil {
+		b.Fatal(err)
+	}
+	d := fpga.NewDevice(K)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := fpga.RunChurn(tasks, d, p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkOnlineChurn100k measures the full reclaim+compaction path;
+// the NoReclaim variant isolates the cost of the completion engine's
+// bookkeeping over the plain grow-only horizon.
+func BenchmarkOnlineChurn100k(b *testing.B)          { benchChurn(b, fpga.ReclaimCompact) }
+func BenchmarkOnlineChurn100kReclaim(b *testing.B)   { benchChurn(b, fpga.Reclaim) }
+func BenchmarkOnlineChurn100kNoReclaim(b *testing.B) { benchChurn(b, fpga.NoReclaim) }
+
 func BenchmarkFValues4096(b *testing.B) {
 	rng := rand.New(rand.NewSource(10))
 	in := workload.DAGWorkload(rng, 4096, 32, 0.1)

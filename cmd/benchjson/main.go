@@ -23,13 +23,18 @@ import (
 	"os"
 	"os/exec"
 	"regexp"
+	"runtime"
 	"strconv"
 	"time"
 )
 
-// Result is one benchmark measurement.
+// Result is one benchmark measurement. Procs is the GOMAXPROCS the
+// benchmark ran under (the -N suffix go test appends to the name; 1 when
+// absent), so flat worker-scaling curves recorded on a single-core
+// container are self-explaining.
 type Result struct {
 	Name        string  `json:"name"`
+	Procs       int     `json:"procs"`
 	Iterations  int     `json:"iterations"`
 	NsPerOp     float64 `json:"ns_per_op"`
 	BytesPerOp  float64 `json:"bytes_per_op"`
@@ -37,9 +42,15 @@ type Result struct {
 }
 
 // Record is the file format: run metadata plus the measurements.
+// GoMaxProcs and NumCPU describe the recording host — worker-pool
+// speedups (experiment fan-out, DC workers, CG pricing) can only show on
+// NumCPU > 1, so a trajectory point from a single-core CI container is
+// distinguishable from a regression.
 type Record struct {
 	GeneratedAt string   `json:"generated_at"`
 	GoVersion   string   `json:"go_version"`
+	GoMaxProcs  int      `json:"gomaxprocs"`
+	NumCPU      int      `json:"num_cpu"`
 	Bench       string   `json:"bench"`
 	Benchtime   string   `json:"benchtime"`
 	Count       int      `json:"count"`
@@ -47,9 +58,10 @@ type Record struct {
 }
 
 // benchLine matches `BenchmarkFoo-8   123   456.7 ns/op   89 B/op   10 allocs/op`
-// (the -N GOMAXPROCS suffix and the two -benchmem columns are optional).
+// (the -N GOMAXPROCS suffix and the two -benchmem columns are optional;
+// the suffix is captured into Result.Procs).
 var benchLine = regexp.MustCompile(
-	`^(Benchmark\S+?)(?:-\d+)?\s+(\d+)\s+([\d.]+) ns/op(?:\s+([\d.]+) B/op\s+([\d.]+) allocs/op)?`)
+	`^(Benchmark\S+?)(?:-(\d+))?\s+(\d+)\s+([\d.]+) ns/op(?:\s+([\d.]+) B/op\s+([\d.]+) allocs/op)?`)
 
 func main() {
 	out := flag.String("out", "BENCH_1.json", "output JSON path")
@@ -77,6 +89,8 @@ func main() {
 	rec := Record{
 		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
 		GoVersion:   goVersion(*dir),
+		GoMaxProcs:  runtime.GOMAXPROCS(0),
+		NumCPU:      runtime.NumCPU(),
 		Bench:       *bench,
 		Benchtime:   *benchtime,
 		Count:       *count,
@@ -87,12 +101,15 @@ func main() {
 		if m == nil {
 			continue
 		}
-		r := Result{Name: m[1]}
-		r.Iterations, _ = strconv.Atoi(m[2])
-		r.NsPerOp, _ = strconv.ParseFloat(m[3], 64)
-		if m[4] != "" {
-			r.BytesPerOp, _ = strconv.ParseFloat(m[4], 64)
-			r.AllocsPerOp, _ = strconv.ParseFloat(m[5], 64)
+		r := Result{Name: m[1], Procs: 1}
+		if m[2] != "" {
+			r.Procs, _ = strconv.Atoi(m[2])
+		}
+		r.Iterations, _ = strconv.Atoi(m[3])
+		r.NsPerOp, _ = strconv.ParseFloat(m[4], 64)
+		if m[5] != "" {
+			r.BytesPerOp, _ = strconv.ParseFloat(m[5], 64)
+			r.AllocsPerOp, _ = strconv.ParseFloat(m[6], 64)
 		}
 		rec.Results = append(rec.Results, r)
 	}

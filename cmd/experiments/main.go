@@ -7,7 +7,7 @@
 //
 // Usage:
 //
-//	experiments             # run all of E1..E12 on GOMAXPROCS workers
+//	experiments             # run all of E1..E13 on GOMAXPROCS workers
 //	experiments E2 E4       # run a subset
 //	experiments -parallel 1 # single-threaded (same output, slower)
 //	experiments -list       # list experiments
@@ -30,6 +30,8 @@ func main() {
 		"worker count for the DC divide-and-conquer recursion (0 = GOMAXPROCS; results are identical for any value)")
 	cgWorkers := flag.Int("cg-workers", 0,
 		"pricing worker count for the configuration-LP column generation (0 = GOMAXPROCS; results are identical for any value)")
+	churnWorkers := flag.Int("churn-workers", 0,
+		"fan-out for E13's per-trial policy simulations (0 = one per policy; results are identical for any value)")
 	flag.Parse()
 	if *parallel < 1 {
 		fmt.Fprintln(os.Stderr, "experiments: -parallel must be >= 1")
@@ -43,9 +45,14 @@ func main() {
 		fmt.Fprintln(os.Stderr, "experiments: -cg-workers must be >= 0")
 		os.Exit(2)
 	}
+	if *churnWorkers < 0 {
+		fmt.Fprintln(os.Stderr, "experiments: -churn-workers must be >= 0")
+		os.Exit(2)
+	}
 	experiments.Parallelism = *parallel
 	experiments.DCWorkers = *dcWorkers
 	experiments.CGWorkers = *cgWorkers
+	experiments.ChurnWorkers = *churnWorkers
 	if *list {
 		for _, e := range experiments.All() {
 			fmt.Printf("%-4s %s\n", e.ID, e.Title)

@@ -4,10 +4,16 @@
 // occupancy and utilization — the hardware-side view of the paper's
 // motivating application.
 //
+// With -churn the simulator instead runs the steady-state OS scenario of
+// the paper's §1: a Poisson task stream with bounded lifetimes replayed
+// through the online scheduler's completion engine, comparing the column
+// reclamation policies (none, reclaim, compact — see internal/fpga).
+//
 // Usage:
 //
 //	fpgasim -k 8 -n 24 -algo dc
 //	fpgasim -k 8 -algo aptas -release 4 < instance.json
+//	fpgasim -k 16 -n 500 -churn -load 0.85 -policy all
 package main
 
 import (
@@ -17,6 +23,7 @@ import (
 	"os"
 
 	"strippack"
+	"strippack/internal/fpga"
 	"strippack/internal/geom"
 	"strippack/internal/workload"
 )
@@ -29,7 +36,16 @@ func main() {
 	seed := flag.Int64("seed", 1, "workload seed")
 	stdin := flag.Bool("stdin", false, "read instance JSON from stdin instead of generating")
 	eps := flag.Float64("eps", 1.0, "APTAS epsilon")
+	churn := flag.Bool("churn", false, "run the online churn scenario (completion events + column reclamation)")
+	policy := flag.String("policy", "all", "churn completion policy: none, reclaim, compact, or all")
+	load := flag.Float64("load", 0.85, "churn offered load as a fraction of device capacity")
+	shrink := flag.Float64("shrink", 0.3, "churn minimum lifetime fraction of the declared duration")
 	flag.Parse()
+
+	if *churn {
+		runChurn(*k, *n, *seed, *load, *shrink, *policy)
+		return
+	}
 
 	var in *strippack.Instance
 	if *stdin {
@@ -88,6 +104,38 @@ func main() {
 	fmt.Printf("makespan: %.4f\n", st.Makespan)
 	fmt.Printf("utilization: %.1f%%\n", 100*st.Utilization)
 	fmt.Printf("reconfigurations: %d\n", st.Reconfigurations)
+}
+
+// runChurn replays one churn workload under the requested completion
+// policies and prints the OS-level metrics side by side.
+func runChurn(k, n int, seed int64, load, shrink float64, policy string) {
+	rng := rand.New(rand.NewSource(seed))
+	tasks, err := workload.Churn(rng, n, k, load, shrink)
+	if err != nil {
+		fatal(err)
+	}
+	var policies []fpga.Policy
+	if policy == "all" {
+		policies = []fpga.Policy{fpga.NoReclaim, fpga.Reclaim, fpga.ReclaimCompact}
+	} else {
+		p, err := fpga.ParsePolicy(policy)
+		if err != nil {
+			fatal(err)
+		}
+		policies = []fpga.Policy{p}
+	}
+	fmt.Printf("device: %d columns   tasks: %d   load: %.2f   shrink: %.2f\n", k, n, load, shrink)
+	fmt.Printf("%-8s %10s %12s %10s %12s %8s %8s\n",
+		"policy", "makespan", "utilization", "mean wait", "reclaimed", "passes", "moved")
+	for _, p := range policies {
+		_, st, err := fpga.RunChurn(tasks, fpga.NewDevice(k), p)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("%-8s %10.4f %11.1f%% %10.4f %12.4f %8d %8d\n",
+			p, st.Makespan, 100*st.Utilization, st.MeanWait,
+			st.ReclaimedColumnTime, st.CompactPasses, st.TasksMoved)
+	}
 }
 
 func fatal(err error) {

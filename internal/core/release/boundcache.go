@@ -30,13 +30,15 @@ func NewBoundCache(opts CGOptions) *BoundCache {
 	return &BoundCache{opts: opts, bounds: make(map[string]float64)}
 }
 
-// fingerprint is the cache key: strip width and every rectangle's
-// (width, height, release) bit pattern in order. Rect order is part of the
-// key — reordering an instance does not change OPTf, but the experiments
-// only ever repeat byte-identical instances, and a conservative key can
-// never alias two different ones.
+// fingerprint is the cache key: strip width, every rectangle's
+// (width, height, release) bit pattern in order, and the precedence edge
+// list. Rect order is part of the key — reordering an instance does not
+// change OPTf, but the experiments only ever repeat byte-identical
+// instances, and a conservative key can never alias two different ones.
+// The edges must be part of the key for the same reason: two instances
+// differing only in Instance.Prec would otherwise share an entry.
 func fingerprint(in *geom.Instance) string {
-	b := make([]byte, 0, 8*(1+3*len(in.Rects)))
+	b := make([]byte, 0, 8*(2+3*len(in.Rects)+2*len(in.Prec)))
 	put := func(f float64) {
 		b = binary.LittleEndian.AppendUint64(b, math.Float64bits(f))
 	}
@@ -45,6 +47,10 @@ func fingerprint(in *geom.Instance) string {
 		put(r.W)
 		put(r.H)
 		put(r.Release)
+	}
+	b = binary.LittleEndian.AppendUint64(b, uint64(len(in.Prec)))
+	for _, e := range in.Prec {
+		b = binary.LittleEndian.AppendUint64(b, uint64(e[0])<<32|uint64(uint32(e[1])))
 	}
 	return string(b)
 }

@@ -1,0 +1,61 @@
+package release
+
+import (
+	"testing"
+
+	"strippack/internal/geom"
+)
+
+// TestBoundCacheDedup: byte-identical instances share one solve.
+func TestBoundCacheDedup(t *testing.T) {
+	in := geom.NewInstance(1, []geom.Rect{
+		{W: 0.5, H: 1}, {W: 0.25, H: 2}, {W: 0.25, H: 0.5, Release: 1},
+	})
+	c := NewBoundCache(CGOptions{})
+	h1, err := c.FractionalLowerBound(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h2, err := c.FractionalLowerBound(in.Clone())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h1 != h2 {
+		t.Fatalf("replayed bound %g != solved bound %g", h2, h1)
+	}
+	if hits, misses := c.Stats(); hits != 1 || misses != 1 {
+		t.Fatalf("hits=%d misses=%d, want 1/1", hits, misses)
+	}
+}
+
+// TestBoundCacheFingerprintCoversPrec: regression for the aliasing bug
+// where the fingerprint covered only strip width and per-rect (W, H,
+// Release) — two instances differing only in precedence edges shared a
+// cache entry, contradicting the key's "can never alias two different
+// instances" guarantee.
+func TestBoundCacheFingerprintCoversPrec(t *testing.T) {
+	plain := geom.NewInstance(1, []geom.Rect{
+		{W: 0.5, H: 1}, {W: 0.5, H: 1},
+	})
+	chained := plain.Clone()
+	chained.AddEdge(0, 1)
+	if fingerprint(plain) == fingerprint(chained) {
+		t.Fatal("instances differing only in Prec share a fingerprint")
+	}
+	// Edge direction and endpoints must distinguish too.
+	reversed := plain.Clone()
+	reversed.AddEdge(1, 0)
+	if fingerprint(chained) == fingerprint(reversed) {
+		t.Fatal("reversed edge shares a fingerprint")
+	}
+	c := NewBoundCache(CGOptions{})
+	if _, err := c.FractionalLowerBound(plain); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.FractionalLowerBound(chained); err != nil {
+		t.Fatal(err)
+	}
+	if hits, misses := c.Stats(); hits != 0 || misses != 2 {
+		t.Fatalf("hits=%d misses=%d, want 0/2 (no aliasing)", hits, misses)
+	}
+}

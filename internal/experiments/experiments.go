@@ -50,6 +50,7 @@ func All() []Experiment {
 		{"E10", "Figs. 3/4: stacking containment chain of the grouping step", E10},
 		{"E11", "Foundation [16]: Kenyon-Remila APTAS vs shelf packers", E11},
 		{"E12", "Online (non-clairvoyant) vs offline release-time scheduling", E12},
+		{"E13", "OS churn: no-reclaim vs reclaim vs reclaim+compaction", E13},
 	}
 }
 
@@ -88,6 +89,14 @@ func cgOpts() release.CGOptions {
 	return release.CGOptions{Workers: CGWorkers}
 }
 
+// ChurnWorkers is the fan-out for E13's per-trial policy simulations (the
+// three independent replays of one churn workload; 0 or 1 = serial).
+// cmd/experiments exposes it as -churn-workers; `make determinism` pins it
+// to 1 and 3 under the byte-identical contract — each replay is an
+// independent single-threaded discrete-event simulation writing its own
+// result slot, so the fan-out cannot change the table.
+var ChurnWorkers int
+
 // Per-experiment base seeds for RunGrid (trial seed = base ^ trialIndex).
 const (
 	seedE1  int64 = 0xAB1<<8 | 0xE1
@@ -100,6 +109,7 @@ const (
 	seedE10 int64 = 0xAB1<<8 | 0x10
 	seedE11 int64 = 0xAB1<<8 | 0x11
 	seedE12 int64 = 0xAB1<<8 | 0x12
+	seedE13 int64 = 0xAB1<<8 | 0x13
 )
 
 // E1 measures DC height against the best simple lower bound on random
@@ -796,6 +806,112 @@ func E12(w io.Writer) error {
 		}
 		t.Add(c.n, K, c.span, stats.Summarize(ron).Mean, stats.Summarize(roff).Mean,
 			stats.Summarize(rap).Mean)
+	}
+	t.Render(w)
+	return nil
+}
+
+// E13 models the steady-state OS workload of the paper's §1 motivation:
+// tasks arrive, run and leave a K-column device, declaring worst-case
+// durations but finishing early. It compares the three completion
+// policies of the online scheduler on identical churn streams — ignoring
+// completions (NoReclaim), opportunistically handing freed columns to the
+// placement horizon (Reclaim), and compacting waiting tasks down onto the
+// reclaimed column-time (ReclaimCompact).
+//
+// Two properties are asserted per trial, not just tabulated: compaction
+// never yields a worse makespan than no-reclaim (structural — placements
+// are identical and slides only move tasks earlier), and no-reclaim
+// reclaims nothing. Opportunistic reclaim carries no such guarantee — the
+// `anomalies` column counts the trials where a Graham-style cascade made
+// it *worse* than doing nothing, which is the classical list-scheduling
+// effect the conservative compaction mode exists to avoid.
+//
+// The three replays of a trial fan out on ChurnWorkers goroutines; each is
+// an independent single-threaded simulation, so the table is byte-identical
+// for any value (enforced by `make determinism` via -churn-workers).
+func E13(w io.Writer) error {
+	const K = 16
+	type cell struct {
+		n    int
+		load float64
+	}
+	var grid []cell
+	for _, n := range []int{60, 240} {
+		for _, load := range []float64{0.5, 0.85} {
+			grid = append(grid, cell{n, load})
+		}
+	}
+	type res struct {
+		mk        [3]float64 // makespan per policy: none, reclaim, compact
+		util      [3]float64
+		reclaimed float64
+		moved     int
+	}
+	policies := [3]fpga.Policy{fpga.NoReclaim, fpga.Reclaim, fpga.ReclaimCompact}
+	rows, err := RunGrid(len(grid), seeds, seedE13, func(t Trial, rng *rand.Rand) (res, error) {
+		c := grid[t.Row]
+		tasks, err := workload.Churn(rng, c.n, K, c.load, 0.3)
+		if err != nil {
+			return res{}, err
+		}
+		var r res
+		var stats [3]*fpga.ChurnStats
+		workers := ChurnWorkers
+		if workers == 0 {
+			workers = len(policies)
+		}
+		err = RunN(len(policies), workers, func(i int) error {
+			_, st, err := fpga.RunChurn(tasks, fpga.NewDevice(K), policies[i])
+			if err != nil {
+				return err
+			}
+			stats[i] = st
+			return nil
+		})
+		if err != nil {
+			return res{}, err
+		}
+		for i, st := range stats {
+			r.mk[i] = st.Makespan
+			r.util[i] = st.Utilization
+		}
+		if r.mk[2] > r.mk[0]+1e-9 {
+			return res{}, fmt.Errorf("E13 n=%d load=%g: compaction makespan %g worse than no-reclaim %g",
+				c.n, c.load, r.mk[2], r.mk[0])
+		}
+		if stats[0].ReclaimedColumnTime != 0 {
+			return res{}, fmt.Errorf("E13 n=%d load=%g: no-reclaim reclaimed column-time", c.n, c.load)
+		}
+		r.reclaimed = stats[2].ReclaimedColumnTime
+		r.moved = stats[2].TasksMoved
+		return r, nil
+	})
+	if err != nil {
+		return err
+	}
+	t := &stats.Table{Header: []string{"n", "load", "mk none", "mk reclaim", "mk compact",
+		"compact/none", "util none", "util compact", "reclaimed", "moved", "anomalies"}}
+	for i, c := range grid {
+		var mkN, mkR, mkC, utilN, utilC, ratio, reclaimed []float64
+		moved, anomalies := 0, 0
+		for _, r := range rows[i] {
+			mkN = append(mkN, r.mk[0])
+			mkR = append(mkR, r.mk[1])
+			mkC = append(mkC, r.mk[2])
+			utilN = append(utilN, r.util[0])
+			utilC = append(utilC, r.util[2])
+			ratio = append(ratio, r.mk[2]/r.mk[0])
+			reclaimed = append(reclaimed, r.reclaimed)
+			moved += r.moved
+			if r.mk[1] > r.mk[0]+1e-9 {
+				anomalies++
+			}
+		}
+		t.Add(c.n, c.load, stats.Summarize(mkN).Mean, stats.Summarize(mkR).Mean,
+			stats.Summarize(mkC).Mean, stats.Summarize(ratio).Mean,
+			stats.Summarize(utilN).Mean, stats.Summarize(utilC).Mean,
+			stats.Summarize(reclaimed).Mean, moved/seeds, anomalies)
 	}
 	t.Render(w)
 	return nil

@@ -18,8 +18,8 @@ func TestAllHaveUniqueIDsAndTitles(t *testing.T) {
 		}
 		seen[e.ID] = true
 	}
-	if len(seen) != 12 {
-		t.Fatalf("expected 12 experiments, got %d", len(seen))
+	if len(seen) != 13 {
+		t.Fatalf("expected 13 experiments, got %d", len(seen))
 	}
 }
 
@@ -76,7 +76,10 @@ func TestE4RatioApproaches3(t *testing.T) {
 func TestSmallExperimentsRun(t *testing.T) {
 	// The quick experiments run in-test; the heavyweight ones (E1 at
 	// n=4096, E6, E7) are exercised by cmd/experiments and the benchmarks.
-	for _, id := range []string{"E3", "E5", "E8", "E10"} {
+	// E13 is included: its per-trial assertions (compaction never worse
+	// than no-reclaim, no-reclaim reclaims nothing) must hold on the exact
+	// grid the table publishes.
+	for _, id := range []string{"E3", "E5", "E8", "E10", "E13"} {
 		id := id
 		t.Run(id, func(t *testing.T) {
 			runExperiment(t, id)

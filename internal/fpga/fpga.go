@@ -9,6 +9,16 @@
 // such a schedule, enforces exclusive column ownership, models a per-
 // reconfiguration delay, and reports makespan and utilization. It is the
 // substitution for the physical hardware documented in DESIGN.md.
+//
+// Beyond one-shot schedules, the package models the steady-state operating
+// system of the paper's §1: OnlineScheduler processes task completion
+// events (Complete / SubmitWithLifetime + AdvanceTo) and can reclaim the
+// columns of early-finishing tasks and compact waiting tasks onto the
+// reclaimed time (Policy). Completion events mean the per-column horizon
+// is no longer monotone — see DESIGN.md in this directory for the model,
+// the horizonTree free primitive that supports it, the audit of
+// bestWindow's assumptions, and why the compaction policy is anomaly-free
+// while opportunistic reclamation is not.
 package fpga
 
 import (
@@ -40,6 +50,7 @@ type Task struct {
 	Cols     int     // number of contiguous columns
 	Start    float64 // start time (includes reconfiguration)
 	Duration float64
+	Release  float64 // submission time (0 for schedules built offline)
 }
 
 // End returns Start + Duration.
@@ -77,7 +88,7 @@ func FromPacking(d *Device, p *geom.Packing, tol float64) (*Schedule, error) {
 		s.Tasks = append(s.Tasks, Task{
 			ID: i, Name: r.Name,
 			FirstCol: int(rfc), Cols: int(rnc),
-			Start: p.Pos[i].Y, Duration: r.H,
+			Start: p.Pos[i].Y, Duration: r.H, Release: r.Release,
 		})
 	}
 	return s, nil

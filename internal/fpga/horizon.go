@@ -7,12 +7,19 @@ import (
 )
 
 // horizonTree is a lazy segment tree over the device columns holding the
-// time each column becomes free. It supports the two primitives the online
+// time each column becomes free. It supports the primitives the online
 // scheduler needs — range-assign (a placed task raises its columns to its
-// end time) and range-max (the earliest start of a column window) — in
-// O(log K), plus bestWindow, which finds the placement the previous
-// implementation found by scanning all K·cols cells: the leftmost window
-// minimizing the window maximum.
+// end time), free (a completed task lowers the columns it still owns back
+// to its completion time) and range-max (the earliest start of a column
+// window) — in O(log K), plus bestWindow, which finds the placement the
+// previous implementation found by scanning all K·cols cells: the leftmost
+// window minimizing the window maximum.
+//
+// Since completion events were added the horizon is NOT monotone: free and
+// fill lower column values, so no operation may assume values only grow.
+// bestWindow was audited for this (see DESIGN.md): it relies only on the
+// horizon being piecewise constant and non-negative, both of which assign,
+// free and fill preserve.
 //
 // bestWindow exploits that assignments keep the horizon piecewise
 // constant: the tree is walked once to extract the maximal uniform runs
@@ -87,6 +94,67 @@ func (t *horizonTree) doAssign(i, lo, hi, l, r int, v float64) {
 	t.doAssign(2*i+1, mid, hi, l, r, v)
 	t.mx[i] = max(t.mx[2*i], t.mx[2*i+1])
 	t.mn[i] = min(t.mn[2*i], t.mn[2*i+1])
+}
+
+// free lowers horizon[l:r) to `to` on exactly those columns still at
+// `from` — the columns whose last commitment is the task completing at
+// time `to`. Columns already re-promised to a later task (value > from)
+// are left alone: lowering them would let a new placement overlap the
+// later commitment. It reports whether any column changed.
+//
+// The caller guarantees from >= to and that every column in [l, r) holds
+// a value >= from (the completing task assigned `from` there and later
+// assignments only raised it), so value == from identifies the columns
+// the completing task still owns. Returns the number of columns lowered.
+func (t *horizonTree) free(l, r int, from, to float64) int {
+	if from == to {
+		return 0
+	}
+	return t.doFree(1, 0, t.size, l, r, from, to)
+}
+
+func (t *horizonTree) doFree(i, lo, hi, l, r int, from, to float64) int {
+	if r <= lo || hi <= l || t.mx[i] < from || t.mn[i] > from {
+		// Disjoint, or no cell in this node still holds `from`.
+		return 0
+	}
+	if l <= lo && hi <= r && (t.has[i] || t.mx[i] == t.mn[i] || hi-lo == 1) {
+		// Uniform node fully inside: it survived the prune, so its value
+		// is exactly `from`.
+		t.set[i], t.has[i] = to, hi-lo > 1
+		t.mx[i], t.mn[i] = to, to
+		return hi - lo
+	}
+	t.push(i)
+	mid := (lo + hi) / 2
+	n := t.doFree(2*i, lo, mid, l, r, from, to)
+	n += t.doFree(2*i+1, mid, hi, l, r, from, to)
+	t.mx[i] = max(t.mx[2*i], t.mx[2*i+1])
+	t.mn[i] = min(t.mn[2*i], t.mn[2*i+1])
+	return n
+}
+
+// fill rebuilds the whole tree from a flat per-column horizon in O(K).
+// The scheduler itself does not call it — compaction deliberately leaves
+// the placement tree pessimistic (see compact in online.go) — but the
+// tests use it to cross-load reference states, and a future bounded
+// re-placement policy (ROADMAP) would need exactly this bulk primitive.
+// Columns beyond len(vals) reset to 0, matching the initial state.
+func (t *horizonTree) fill(vals []float64) {
+	for i := 0; i < t.size; i++ {
+		v := 0.0
+		if i < len(vals) {
+			v = vals[i]
+		}
+		leaf := t.size + i
+		t.mx[leaf], t.mn[leaf] = v, v
+		t.has[leaf] = false
+	}
+	for i := t.size - 1; i >= 1; i-- {
+		t.mx[i] = max(t.mx[2*i], t.mx[2*i+1])
+		t.mn[i] = min(t.mn[2*i], t.mn[2*i+1])
+		t.has[i] = false
+	}
 }
 
 // maxRange returns max(horizon[l:r)).

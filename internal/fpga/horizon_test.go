@@ -111,6 +111,94 @@ func TestHorizonTreePrimitives(t *testing.T) {
 	}
 }
 
+// TestHorizonTreeFreeFill exercises the non-monotone primitives — free
+// (conditional lowering) and fill (bulk rebuild) — against a flat slice,
+// interleaved with assigns and max queries. free(l, r, from, to) must
+// lower exactly the columns in [l, r) still holding `from`.
+func TestHorizonTreeFreeFill(t *testing.T) {
+	rng := rand.New(rand.NewSource(97))
+	for trial := 0; trial < 60; trial++ {
+		n := 1 + rng.Intn(70)
+		tr := newHorizonTree(n)
+		flat := make([]float64, n)
+		check := func(op string) {
+			for c := 0; c < n; c++ {
+				if got := tr.maxRange(c, c+1); got != flat[c] {
+					t.Fatalf("trial %d after %s: column %d = %g, want %g", trial, op, c, got, flat[c])
+				}
+			}
+			checkRuns(t, tr, flat)
+		}
+		vals := []float64{0, 1, 1.5, 2, 2.5, 3} // small set to force equal runs
+		for op := 0; op < 150; op++ {
+			l := rng.Intn(n)
+			r := l + 1 + rng.Intn(n-l)
+			switch rng.Intn(4) {
+			case 0: // assign
+				v := vals[rng.Intn(len(vals))]
+				tr.assign(l, r, v)
+				for k := l; k < r; k++ {
+					flat[k] = v
+				}
+			case 1: // free: lower cells still at `from` down to `to`
+				// (times are non-negative, the tree's documented domain)
+				from := vals[1+rng.Intn(len(vals)-1)]
+				to := from - 0.25 - 0.5*rng.Float64()
+				want := 0
+				for k := l; k < r; k++ {
+					if flat[k] == from {
+						flat[k] = to
+						want++
+					}
+				}
+				if got := tr.free(l, r, from, to); got != want {
+					t.Fatalf("trial %d: free lowered %d columns, want %d", trial, got, want)
+				}
+			case 2: // fill
+				for k := range flat {
+					flat[k] = vals[rng.Intn(len(vals))]
+				}
+				tr.fill(flat)
+			default: // max query
+				want := 0.0
+				for k := l; k < r; k++ {
+					if flat[k] > want {
+						want = flat[k]
+					}
+				}
+				if got := tr.maxRange(l, r); got != want {
+					t.Fatalf("trial %d: maxRange(%d,%d) = %g, want %g", trial, l, r, got, want)
+				}
+			}
+			check("op")
+		}
+	}
+}
+
+// checkRuns verifies that the tree's run extraction returns exactly the
+// maximal constant runs of the flat horizon, in order.
+func checkRuns(t *testing.T, tr *horizonTree, flat []float64) {
+	t.Helper()
+	tr.runs = tr.runs[:0]
+	tr.appendRuns(1, 0, tr.size)
+	var want []hrun
+	for c := 0; c < len(flat); c++ {
+		if k := len(want) - 1; k >= 0 && want[k].val == flat[c] {
+			want[k].end = c + 1
+			continue
+		}
+		want = append(want, hrun{start: c, end: c + 1, val: flat[c]})
+	}
+	if len(tr.runs) != len(want) {
+		t.Fatalf("runs %v, want %v", tr.runs, want)
+	}
+	for i := range want {
+		if tr.runs[i] != want[i] {
+			t.Fatalf("run %d = %+v, want %+v", i, tr.runs[i], want[i])
+		}
+	}
+}
+
 // TestRunOnlineLargeK: the segment-tree path handles device widths far
 // beyond the old scan's comfort zone and still yields valid schedules.
 func TestRunOnlineLargeK(t *testing.T) {

@@ -2,10 +2,67 @@ package fpga
 
 import (
 	"fmt"
+	"math"
 	"slices"
 
 	"strippack/internal/geom"
 )
+
+// Policy selects what the online scheduler does when a task completes
+// before its declared end — the OS-level behaviors of the paper's §1
+// motivation (see DESIGN.md for the model).
+type Policy int
+
+const (
+	// NoReclaim ignores early completions for placement purposes: columns
+	// stay promised until the declared end (the historical grow-only
+	// horizon). Completions still truncate the recorded task, so
+	// makespans compare fairly across policies.
+	NoReclaim Policy = iota
+	// Reclaim opportunistically lowers the horizon of the columns a
+	// completing task still owns back to its completion time, so later
+	// submissions can use them. Placement decisions change as a result,
+	// and — like any greedy list scheduler whose processing times shrink —
+	// the mode can suffer Graham-style anomalies: a reclaimed column can
+	// reroute a later task into a window that cascades into a *worse*
+	// makespan (E13 measures how often).
+	Reclaim
+	// ReclaimCompact places every task against the pessimistic declared
+	// horizon (identical decisions to NoReclaim) and instead slides
+	// waiting tasks (placed, occupancy not yet begun) down in time on
+	// their own columns whenever a completion reclaims column-time — the
+	// paper's compaction scenario. A slide never changes columns and never
+	// delays a task, so per-column task order is preserved and every start
+	// is at most its NoReclaim counterpart: unlike Reclaim, compaction is
+	// anomaly-free by construction and its makespan never exceeds
+	// NoReclaim's (see DESIGN.md for the induction).
+	ReclaimCompact
+)
+
+func (p Policy) String() string {
+	switch p {
+	case NoReclaim:
+		return "none"
+	case Reclaim:
+		return "reclaim"
+	case ReclaimCompact:
+		return "compact"
+	}
+	return fmt.Sprintf("Policy(%d)", int(p))
+}
+
+// ParsePolicy maps the cmd-line names none/reclaim/compact to a Policy.
+func ParsePolicy(s string) (Policy, error) {
+	switch s {
+	case "none":
+		return NoReclaim, nil
+	case "reclaim":
+		return Reclaim, nil
+	case "compact":
+		return ReclaimCompact, nil
+	}
+	return 0, fmt.Errorf("fpga: unknown policy %q (want none, reclaim or compact)", s)
+}
 
 // OnlineScheduler is the event-driven scheduler an operating system for a
 // reconfigurable platform would run (the paper's §1/§3 motivation, ref
@@ -19,46 +76,407 @@ import (
 // a Submit costs O((runs + log K)·log K) instead of the former O(K·cols)
 // full scan — see horizonTree. Placements are identical to the scan's.
 //
+// Beyond Submit, the scheduler processes completion events: Complete (or a
+// lifetime registered via SubmitWithLifetime and driven by AdvanceTo)
+// truncates a task to its actual end and, under Reclaim/ReclaimCompact,
+// returns its columns to the pool. Time advances monotonically through
+// Submit and Complete; decisions for started tasks stay irrevocable, but
+// ReclaimCompact may re-place tasks whose occupancy has not begun.
+//
 // The scheduler is non-clairvoyant: it never uses information about tasks
-// not yet released, making it a fair online baseline for the offline APTAS.
+// not yet released (registered lifetimes are only acted on when their
+// completion event fires), making it a fair online baseline for the
+// offline APTAS.
 type OnlineScheduler struct {
 	device *Device
 	// horizon holds, per column, the time it becomes free.
 	horizon *horizonTree
 	tasks   []Task
+	policy  Policy
+
+	now    float64
+	byID   map[int]int // task ID -> index into tasks
+	done   []bool      // per task index: completed
+	actual []float64   // registered lifetime (NaN = none)
+	compQ  taskHeap    // registered completions, keyed by Start+actual
+
+	// Compaction state, maintained only when policy == ReclaimCompact.
+	fixedEnd []float64 // per column: latest end among started/completed tasks
+	startQ   taskHeap  // placed, occupancy not begun, keyed by Start-delay
+	scratch  []float64 // compaction rebuild buffer
+
+	// Counters surfaced in ChurnStats.
+	reclaimedColTime float64
+	compactPasses    int
+	tasksMoved       int
 }
 
-// NewOnlineScheduler returns a scheduler for the device.
+// NewOnlineScheduler returns a scheduler for the device with the NoReclaim
+// policy — the historical grow-only horizon behavior.
 func NewOnlineScheduler(d *Device) *OnlineScheduler {
-	return &OnlineScheduler{device: d, horizon: newHorizonTree(d.Columns)}
+	return NewOnlineSchedulerPolicy(d, NoReclaim)
+}
+
+// NewOnlineSchedulerPolicy returns a scheduler with an explicit completion
+// policy.
+func NewOnlineSchedulerPolicy(d *Device, p Policy) *OnlineScheduler {
+	o := &OnlineScheduler{device: d, horizon: newHorizonTree(d.Columns),
+		policy: p, byID: make(map[int]int)}
+	if p == ReclaimCompact {
+		o.fixedEnd = make([]float64, d.Columns)
+		o.scratch = make([]float64, d.Columns)
+	}
+	return o
 }
 
 // Submit places one task (cols contiguous columns for duration time units,
-// released at release) and returns the placed Task. Decisions are greedy
-// and irrevocable, as in a real run-time system.
+// released at release) and returns the placed Task. For started tasks
+// decisions are greedy and irrevocable, as in a real run-time system;
+// under ReclaimCompact a task whose occupancy has not begun may later be
+// slid to an earlier start on the same columns.
+//
+// Durations and releases must be finite: NaN compares false against every
+// bound, so without explicit guards a NaN duration or release would slip
+// past the validation, poison the horizon tree and corrupt every later
+// placement.
 func (o *OnlineScheduler) Submit(id int, name string, cols int, duration, release float64) (Task, error) {
+	return o.submit(id, name, cols, duration, math.NaN(), release)
+}
+
+// SubmitWithLifetime places a task by its declared duration and registers
+// its actual lifetime (0 < actual <= duration): AdvanceTo completes the
+// task at Start+actual. This is the churn interface — the lifetime is
+// revealed to the placement logic only when the completion event fires,
+// and a task that finishes early frees its columns under
+// Reclaim/ReclaimCompact.
+func (o *OnlineScheduler) SubmitWithLifetime(id int, name string, cols int, duration, actual, release float64) (Task, error) {
+	if math.IsNaN(actual) || math.IsInf(actual, 0) || actual <= 0 {
+		return Task{}, fmt.Errorf("fpga: task %d has invalid actual lifetime %g", id, actual)
+	}
+	if actual > duration {
+		return Task{}, fmt.Errorf("fpga: task %d actual lifetime %g exceeds declared duration %g", id, actual, duration)
+	}
+	return o.submit(id, name, cols, duration, actual, release)
+}
+
+func (o *OnlineScheduler) submit(id int, name string, cols int, duration, actual, release float64) (Task, error) {
 	if cols < 1 || cols > o.device.Columns {
 		return Task{}, fmt.Errorf("fpga: task %d needs %d of %d columns", id, cols, o.device.Columns)
 	}
-	if duration <= 0 {
-		return Task{}, fmt.Errorf("fpga: task %d has non-positive duration", id)
+	if math.IsNaN(duration) || math.IsInf(duration, 0) || duration <= 0 {
+		return Task{}, fmt.Errorf("fpga: task %d has invalid duration %g", id, duration)
 	}
-	bestStart, bestCol := o.horizon.bestWindow(cols, release)
+	if math.IsNaN(release) || math.IsInf(release, 0) {
+		return Task{}, fmt.Errorf("fpga: task %d has invalid release %g", id, release)
+	}
+	if _, dup := o.byID[id]; dup {
+		return Task{}, fmt.Errorf("fpga: duplicate task ID %d", id)
+	}
+	// Submission advances the clock: a task cannot arrive before events
+	// already processed, and a placement never starts in the past. (The
+	// clamp is placement-neutral for the historical pure-Submit path:
+	// horizon values are non-negative, so a sub-zero floor never wins.)
+	floor := release
+	if floor < o.now {
+		floor = o.now
+	}
+	if err := o.AdvanceTo(floor); err != nil {
+		return Task{}, err
+	}
+	bestStart, bestCol := o.horizon.bestWindow(cols, floor)
 	bestStart += o.device.ReconfigDelay
-	t := Task{ID: id, Name: name, FirstCol: bestCol, Cols: cols, Start: bestStart, Duration: duration}
+	t := Task{ID: id, Name: name, FirstCol: bestCol, Cols: cols,
+		Start: bestStart, Duration: duration, Release: release}
 	o.horizon.assign(bestCol, bestCol+cols, t.End())
+	idx := len(o.tasks)
 	o.tasks = append(o.tasks, t)
+	o.byID[id] = idx
+	o.done = append(o.done, false)
+	o.actual = append(o.actual, actual)
+	if o.policy == ReclaimCompact {
+		if t.Start-o.device.ReconfigDelay <= o.now+geom.Eps {
+			o.fix(idx) // occupancy begins immediately: irrevocable
+		} else {
+			o.startQ.push(t.Start-o.device.ReconfigDelay, idx)
+		}
+	}
+	if !math.IsNaN(actual) {
+		o.compQ.push(t.Start+actual, idx)
+	}
 	return t, nil
 }
+
+// fix marks a task as started: its placement becomes irrevocable and its
+// declared end joins the per-column fixed horizon.
+func (o *OnlineScheduler) fix(idx int) {
+	t := o.tasks[idx]
+	for c := t.FirstCol; c < t.FirstCol+t.Cols; c++ {
+		if o.fixedEnd[c] < t.End() {
+			o.fixedEnd[c] = t.End()
+		}
+	}
+}
+
+// promote moves every queued task whose occupancy begins at or before t
+// into the started (irrevocable) state.
+func (o *OnlineScheduler) promote(t float64) {
+	for len(o.startQ) > 0 && o.startQ[0].key <= t+geom.Eps {
+		_, idx := o.startQ.pop()
+		o.fix(idx)
+	}
+}
+
+// Complete records that the task actually finished at time `at`, with
+// Start < at <= declared End and at no earlier than the scheduler clock
+// (events are processed in time order). The task's duration is truncated
+// to its actual run; under Reclaim/ReclaimCompact the columns it still
+// owns are freed at `at`, and under ReclaimCompact waiting tasks are then
+// slid down onto the reclaimed time.
+func (o *OnlineScheduler) Complete(id int, at float64) error {
+	if math.IsNaN(at) || math.IsInf(at, 0) {
+		return fmt.Errorf("fpga: task %d completion at invalid time %g", id, at)
+	}
+	if at < o.now-geom.Eps {
+		return fmt.Errorf("fpga: task %d completion at %g before scheduler time %g", id, at, o.now)
+	}
+	idx, ok := o.byID[id]
+	if !ok {
+		return fmt.Errorf("fpga: completion for unknown task %d", id)
+	}
+	if o.done[idx] {
+		return fmt.Errorf("fpga: task %d completed twice", id)
+	}
+	// Validate against the current placement before advancing the clock,
+	// so a rejected completion leaves the scheduler untouched. completeAt
+	// re-validates, because AdvanceTo may slide the task meanwhile.
+	if t := o.tasks[idx]; at <= t.Start {
+		return fmt.Errorf("fpga: task %d completion at %g not after its start %g", id, at, t.Start)
+	} else if at > t.End()+geom.Eps {
+		return fmt.Errorf("fpga: task %d completion at %g after its declared end %g", id, at, t.End())
+	}
+	if err := o.AdvanceTo(at); err != nil {
+		return err
+	}
+	if o.done[idx] { // possibly completed by a registered lifetime just now
+		return fmt.Errorf("fpga: task %d completed twice", id)
+	}
+	return o.completeAt(idx, at)
+}
+
+func (o *OnlineScheduler) completeAt(idx int, at float64) error {
+	t := &o.tasks[idx]
+	if at <= t.Start {
+		return fmt.Errorf("fpga: task %d completion at %g not after its start %g", t.ID, at, t.Start)
+	}
+	if at > t.End()+geom.Eps {
+		return fmt.Errorf("fpga: task %d completion at %g after its declared end %g", t.ID, at, t.End())
+	}
+	if at > o.now {
+		o.now = at
+	}
+	o.done[idx] = true
+	if o.policy == ReclaimCompact {
+		// Fix stragglers with their declared ends before truncating this
+		// task, so the reclaim accounting below sees the declared value.
+		o.promote(o.now)
+	}
+	oldEnd := t.End()
+	t.Duration = at - t.Start
+	if at >= oldEnd || o.policy == NoReclaim {
+		return nil // on-time completion, or a policy that ignores it
+	}
+	if o.policy == Reclaim {
+		// Opportunistic: hand the columns this task still owns straight
+		// back to the placement horizon.
+		if freed := o.horizon.free(t.FirstCol, t.FirstCol+t.Cols, oldEnd, at); freed > 0 {
+			o.reclaimedColTime += (oldEnd - at) * float64(freed)
+		}
+		return nil
+	}
+	// ReclaimCompact: the placement horizon stays pessimistic (that is
+	// what makes the mode anomaly-free); the reclaimed column-time feeds
+	// the fixed per-column profile the compaction pass slides onto.
+	freed := 0
+	for c := t.FirstCol; c < t.FirstCol+t.Cols; c++ {
+		if o.fixedEnd[c] == oldEnd {
+			o.fixedEnd[c] = at
+			freed++
+		}
+	}
+	o.reclaimedColTime += (oldEnd - at) * float64(freed)
+	o.compact()
+	return nil
+}
+
+// compact slides every waiting task (placed, occupancy not begun) down in
+// time on its own columns, in increasing start order. Keeping columns
+// fixed makes the pass anomaly-free: per-column task order is preserved
+// and, by induction over the start order, every new start is at most the
+// old one — a compaction pass can only improve the schedule it is applied
+// to (see DESIGN.md for the argument).
+func (o *OnlineScheduler) compact() {
+	if len(o.startQ) == 0 {
+		return
+	}
+	waiting := make([]int, 0, len(o.startQ))
+	for _, e := range o.startQ {
+		waiting = append(waiting, e.idx)
+	}
+	slices.SortFunc(waiting, func(a, b int) int {
+		switch {
+		case o.tasks[a].Start < o.tasks[b].Start:
+			return -1
+		case o.tasks[a].Start > o.tasks[b].Start:
+			return 1
+		default:
+			return a - b
+		}
+	})
+	// cur starts as the fixed (started/completed) per-column profile and
+	// accumulates the re-placed waiting ends. The placement tree is NOT
+	// updated: submissions keep seeing the pessimistic declared horizon,
+	// which is exactly what makes the mode anomaly-free.
+	cur := o.scratch
+	copy(cur, o.fixedEnd)
+	delay := o.device.ReconfigDelay
+	moved := false
+	for _, idx := range waiting {
+		t := &o.tasks[idx]
+		floor := t.Release
+		if floor < o.now {
+			floor = o.now
+		}
+		for c := t.FirstCol; c < t.FirstCol+t.Cols; c++ {
+			if cur[c] > floor {
+				floor = cur[c]
+			}
+		}
+		if s := floor + delay; s < t.Start-geom.Eps {
+			t.Start = s
+			moved = true
+			o.tasksMoved++
+		}
+		for c := t.FirstCol; c < t.FirstCol+t.Cols; c++ {
+			cur[c] = t.End()
+		}
+	}
+	if !moved {
+		return
+	}
+	o.compactPasses++
+	// Starts moved, so both queues' keys are stale: rebuild them.
+	for i, e := range o.startQ {
+		o.startQ[i].key = o.tasks[e.idx].Start - delay
+	}
+	o.startQ.init()
+	for i, e := range o.compQ {
+		o.compQ[i].key = o.tasks[e.idx].Start + o.actual[e.idx]
+	}
+	o.compQ.init()
+}
+
+// AdvanceTo processes every registered completion event due at or before t
+// (in event-time order, ties by submission index) and advances the
+// scheduler clock to t. A non-finite t fires the matching events but
+// leaves the clock at the last event processed — the clock itself must
+// stay finite or every later submission would be pushed to infinity.
+func (o *OnlineScheduler) AdvanceTo(t float64) error {
+	for len(o.compQ) > 0 && o.compQ[0].key <= t {
+		key, idx := o.compQ.pop()
+		if o.done[idx] {
+			continue // completed manually ahead of its registered event
+		}
+		if err := o.completeAt(idx, key); err != nil {
+			return err
+		}
+	}
+	if t > o.now && !math.IsInf(t, 1) {
+		o.now = t
+	}
+	if o.policy == ReclaimCompact {
+		o.promote(o.now)
+	}
+	return nil
+}
+
+// Drain processes every remaining registered completion event, leaving
+// the clock at the last completion.
+func (o *OnlineScheduler) Drain() error {
+	return o.AdvanceTo(math.Inf(1))
+}
+
+// Now returns the scheduler clock: the latest event time processed.
+func (o *OnlineScheduler) Now() float64 { return o.now }
 
 // Schedule returns the accumulated schedule for simulation/inspection.
 func (o *OnlineScheduler) Schedule() *Schedule {
 	return &Schedule{Device: o.device, Tasks: append([]Task(nil), o.tasks...)}
 }
 
-// Makespan returns the latest column horizon.
+// Makespan returns the latest column horizon — the time the last committed
+// column is promised free. Under Reclaim policies this can decrease when
+// tasks complete early.
 func (o *OnlineScheduler) Makespan() float64 {
 	return o.horizon.maxAll()
+}
+
+// taskHeap is a binary min-heap of (key, task index) pairs ordered by key,
+// ties by submission index — the deterministic event order of the
+// scheduler.
+type taskHeap []taskEvent
+
+type taskEvent struct {
+	key float64
+	idx int
+}
+
+func (h taskHeap) less(a, b int) bool {
+	return h[a].key < h[b].key || (h[a].key == h[b].key && h[a].idx < h[b].idx)
+}
+
+func (h *taskHeap) push(key float64, idx int) {
+	*h = append(*h, taskEvent{key, idx})
+	i := len(*h) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if !h.less(i, p) {
+			break
+		}
+		(*h)[i], (*h)[p] = (*h)[p], (*h)[i]
+		i = p
+	}
+}
+
+func (h *taskHeap) pop() (float64, int) {
+	top := (*h)[0]
+	last := len(*h) - 1
+	(*h)[0] = (*h)[last]
+	*h = (*h)[:last]
+	h.down(0)
+	return top.key, top.idx
+}
+
+func (h taskHeap) down(i int) {
+	for {
+		c := 2*i + 1
+		if c >= len(h) {
+			return
+		}
+		if c+1 < len(h) && h.less(c+1, c) {
+			c++
+		}
+		if !h.less(c, i) {
+			return
+		}
+		h[i], h[c] = h[c], h[i]
+		i = c
+	}
+}
+
+func (h taskHeap) init() {
+	for i := len(h)/2 - 1; i >= 0; i-- {
+		h.down(i)
+	}
 }
 
 // RunOnline replays a release-time instance through the online scheduler in
@@ -105,17 +523,25 @@ func RunOnline(in *geom.Instance, d *Device) (*Schedule, error) {
 
 // ToPacking converts a schedule back into a packing of the instance (the
 // inverse of FromPacking), so online schedules can be validated with the
-// geometric validator and compared with offline packings.
+// geometric validator and compared with offline packings. Every rect must
+// be covered by exactly one task: duplicate task IDs would silently
+// overwrite a placement and leave another rect sitting unvalidated at the
+// origin, so they are rejected.
 func (s *Schedule) ToPacking(in *geom.Instance) (*geom.Packing, error) {
 	if len(s.Tasks) != in.N() {
 		return nil, fmt.Errorf("fpga: %d tasks for %d rects", len(s.Tasks), in.N())
 	}
 	col := in.StripWidth() / float64(s.Device.Columns)
 	p := geom.NewPacking(in)
+	seen := make([]bool, in.N())
 	for _, t := range s.Tasks {
 		if t.ID < 0 || t.ID >= in.N() {
 			return nil, fmt.Errorf("fpga: task ID %d out of range", t.ID)
 		}
+		if seen[t.ID] {
+			return nil, fmt.Errorf("fpga: duplicate task ID %d in schedule", t.ID)
+		}
+		seen[t.ID] = true
 		p.Set(t.ID, float64(t.FirstCol)*col, t.Start)
 	}
 	return p, nil

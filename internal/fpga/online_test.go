@@ -22,6 +22,171 @@ func TestOnlineSubmitValidation(t *testing.T) {
 	}
 }
 
+// TestSubmitRejectsNonFinite: NaN compares false against every bound, so
+// `duration <= 0` and the cols checks used to let a NaN duration or
+// release through, silently poisoning the horizon tree for every later
+// placement. All non-finite durations, releases and lifetimes must error.
+func TestSubmitRejectsNonFinite(t *testing.T) {
+	nan, inf := math.NaN(), math.Inf(1)
+	cases := []struct {
+		name              string
+		duration, release float64
+		lifetime          float64 // NaN: use plain Submit
+		useLifetime       bool
+	}{
+		{"NaN duration", nan, 0, 0, false},
+		{"+Inf duration", inf, 0, 0, false},
+		{"-Inf duration", -inf, 0, 0, false},
+		{"NaN release", 1, nan, 0, false},
+		{"+Inf release", 1, inf, 0, false},
+		{"-Inf release", 1, -inf, 0, false},
+		{"NaN lifetime", 1, 0, nan, true},
+		{"+Inf lifetime", 1, 0, inf, true},
+		{"zero lifetime", 1, 0, 0, true},
+		{"negative lifetime", 1, 0, -1, true},
+		{"lifetime exceeds duration", 1, 0, 1.5, true},
+	}
+	for _, p := range []Policy{NoReclaim, Reclaim, ReclaimCompact} {
+		for _, c := range cases {
+			o := NewOnlineSchedulerPolicy(NewDevice(4), p)
+			var err error
+			if c.useLifetime {
+				_, err = o.SubmitWithLifetime(0, "", 1, c.duration, c.lifetime, c.release)
+			} else {
+				_, err = o.Submit(0, "", 1, c.duration, c.release)
+			}
+			if err == nil {
+				t.Errorf("policy %v: %s accepted", p, c.name)
+			}
+			// The rejected submission must not have touched the horizon.
+			if o.Makespan() != 0 {
+				t.Errorf("policy %v: %s left a dirty horizon", p, c.name)
+			}
+		}
+	}
+	// Valid finite submissions still pass.
+	o := NewOnlineScheduler(NewDevice(4))
+	if _, err := o.Submit(1, "", 1, 1, 0.5); err != nil {
+		t.Fatalf("finite submission rejected: %v", err)
+	}
+	if _, err := o.Submit(1, "", 1, 1, 0.5); err == nil {
+		t.Fatal("duplicate task ID accepted")
+	}
+}
+
+// TestCompleteValidation covers the completion-event error paths.
+func TestCompleteValidation(t *testing.T) {
+	o := NewOnlineSchedulerPolicy(NewDevice(2), Reclaim)
+	task, err := o.Submit(7, "", 1, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := o.Complete(9, 2); err == nil {
+		t.Fatal("unknown task completed")
+	}
+	if err := o.Complete(7, math.NaN()); err == nil {
+		t.Fatal("NaN completion time accepted")
+	}
+	if err := o.Complete(7, task.Start); err == nil {
+		t.Fatal("completion at the start accepted")
+	}
+	if err := o.Complete(7, task.End()+1); err == nil {
+		t.Fatal("overrun completion accepted")
+	}
+	if err := o.Complete(7, 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := o.Complete(7, 2.5); err == nil {
+		t.Fatal("double completion accepted")
+	}
+	if _, err := o.Submit(8, "", 1, 1, 5); err != nil {
+		t.Fatal(err)
+	}
+	if err := o.Complete(8, 4); err == nil {
+		t.Fatal("completion before the scheduler clock accepted")
+	}
+}
+
+// TestSubmitAfterDrain: Drain must leave the clock at the last completion
+// event, not +Inf — otherwise the next Submit would be floored at infinity
+// and poison the horizon.
+func TestSubmitAfterDrain(t *testing.T) {
+	o := NewOnlineSchedulerPolicy(NewDevice(2), ReclaimCompact)
+	if _, err := o.SubmitWithLifetime(0, "", 1, 2, 1.5, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := o.Drain(); err != nil {
+		t.Fatal(err)
+	}
+	if got := o.Now(); got != 1.5 {
+		t.Fatalf("clock after drain = %g, want 1.5 (the last completion)", got)
+	}
+	task, err := o.Submit(1, "", 1, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.IsInf(task.Start, 0) || task.Start != 1.5 {
+		t.Fatalf("post-drain submission starts at %g, want 1.5", task.Start)
+	}
+}
+
+// TestReclaimReusesColumns: an early completion hands its columns back, so
+// the next submission starts at the completion time instead of the
+// declared end — the behavior NoReclaim forgoes.
+func TestReclaimReusesColumns(t *testing.T) {
+	for _, tc := range []struct {
+		policy    Policy
+		wantStart float64
+	}{{NoReclaim, 10}, {Reclaim, 2}} {
+		o := NewOnlineSchedulerPolicy(NewDevice(2), tc.policy)
+		if _, err := o.Submit(0, "", 2, 10, 0); err != nil {
+			t.Fatal(err)
+		}
+		if err := o.Complete(0, 2); err != nil {
+			t.Fatal(err)
+		}
+		task, err := o.Submit(1, "", 2, 1, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if task.Start != tc.wantStart {
+			t.Fatalf("policy %v: start %g, want %g", tc.policy, task.Start, tc.wantStart)
+		}
+	}
+}
+
+// TestCompactionSlidesWaitingTask: under ReclaimCompact an already-placed
+// waiting task slides down onto reclaimed column-time (keeping its
+// columns); under plain Reclaim its placement is irrevocable.
+func TestCompactionSlidesWaitingTask(t *testing.T) {
+	for _, tc := range []struct {
+		policy    Policy
+		wantStart float64
+	}{{Reclaim, 10}, {ReclaimCompact, 3}} {
+		o := NewOnlineSchedulerPolicy(NewDevice(1), tc.policy)
+		if _, err := o.Submit(0, "", 1, 10, 0); err != nil {
+			t.Fatal(err)
+		}
+		queued, err := o.Submit(1, "", 1, 1, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if queued.Start != 10 {
+			t.Fatalf("queued task starts at %g, want 10", queued.Start)
+		}
+		if err := o.Complete(0, 3); err != nil {
+			t.Fatal(err)
+		}
+		got := o.Schedule().Tasks[1].Start
+		if got != tc.wantStart {
+			t.Fatalf("policy %v: waiting task starts at %g, want %g", tc.policy, got, tc.wantStart)
+		}
+		if _, err := o.Schedule().Simulate(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
 func TestOnlinePacksInParallel(t *testing.T) {
 	o := NewOnlineScheduler(NewDevice(4))
 	// Two 2-column tasks released together run side by side.
@@ -164,5 +329,25 @@ func TestToPackingValidation(t *testing.T) {
 	s := &Schedule{Device: NewDevice(2), Tasks: []Task{{ID: 0}}}
 	if _, err := s.ToPacking(in); err == nil {
 		t.Fatal("task count mismatch accepted")
+	}
+}
+
+// TestToPackingRejectsDuplicateIDs: the task-count guard alone passes when
+// two tasks share an ID — one placement silently overwrites the other and
+// a rect is left unvalidated at the origin. Duplicates must error.
+func TestToPackingRejectsDuplicateIDs(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	in := workload.FPGA(rng, 3, 2, 0)
+	s := &Schedule{Device: NewDevice(2), Tasks: []Task{
+		{ID: 0, FirstCol: 0, Cols: 1, Start: 0, Duration: 1},
+		{ID: 2, FirstCol: 1, Cols: 1, Start: 0, Duration: 1},
+		{ID: 2, FirstCol: 1, Cols: 1, Start: 1, Duration: 1},
+	}}
+	if _, err := s.ToPacking(in); err == nil {
+		t.Fatal("duplicate task IDs accepted")
+	}
+	s.Tasks[2].ID = 1
+	if _, err := s.ToPacking(in); err != nil {
+		t.Fatalf("distinct IDs rejected: %v", err)
 	}
 }

@@ -1,0 +1,61 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// ChurnTask is one task of an OS-style churn workload on a K-column
+// device: it arrives at Release, declares Duration time units when
+// submitted (the worst-case estimate a run-time system schedules by) and
+// actually runs for Lifetime <= Duration — the early completion that makes
+// column reclamation and compaction matter.
+type ChurnTask struct {
+	Cols     int
+	Release  float64
+	Duration float64 // declared (scheduled) duration
+	Lifetime float64 // actual run time, revealed only on completion
+}
+
+// Churn returns n tasks for a K-column device modeling the steady-state
+// workload of an operating system for a reconfigurable fabric: Poisson
+// arrivals whose rate offers `load` (a fraction of the device's column
+// capacity, in (0, 1] for a stable queue), column demands uniform in
+// [1, max(1, K/2)], declared durations uniform in [0.5, 1.5), and bounded
+// lifetimes — each task actually runs a uniform fraction in [shrink, 1)
+// of its declared duration.
+func Churn(rng *rand.Rand, n, K int, load, shrink float64) ([]ChurnTask, error) {
+	if n < 1 || K < 1 {
+		return nil, fmt.Errorf("workload: churn needs n >= 1 and K >= 1, got n=%d K=%d", n, K)
+	}
+	if load <= 0 {
+		return nil, fmt.Errorf("workload: churn load must be positive, got %g", load)
+	}
+	if shrink <= 0 || shrink > 1 {
+		return nil, fmt.Errorf("workload: churn shrink must be in (0, 1], got %g", shrink)
+	}
+	maxCols := K / 2
+	if maxCols < 1 {
+		maxCols = 1
+	}
+	// Offered load = (mean cols * mean declared duration) / interarrival*K,
+	// solved for the interarrival mean at the requested load fraction.
+	meanCols := float64(1+maxCols) / 2
+	const meanDur = 1.0
+	interarrival := meanCols * meanDur / (float64(K) * load)
+	tasks := make([]ChurnTask, n)
+	t := 0.0
+	for i := range tasks {
+		if i > 0 {
+			t += rng.ExpFloat64() * interarrival
+		}
+		dur := 0.5 + rng.Float64()
+		tasks[i] = ChurnTask{
+			Cols:     1 + rng.Intn(maxCols),
+			Release:  t,
+			Duration: dur,
+			Lifetime: dur * (shrink + (1-shrink)*rng.Float64()),
+		}
+	}
+	return tasks, nil
+}

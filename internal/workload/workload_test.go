@@ -279,3 +279,45 @@ func TestFig1EdgeSandwich(t *testing.T) {
 		}
 	}
 }
+
+func TestChurn(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	if _, err := Churn(rng, 0, 4, 0.8, 0.3); err == nil {
+		t.Fatal("empty churn accepted")
+	}
+	if _, err := Churn(rng, 10, 4, 0, 0.3); err == nil {
+		t.Fatal("zero load accepted")
+	}
+	if _, err := Churn(rng, 10, 4, 0.8, 0); err == nil {
+		t.Fatal("zero shrink accepted")
+	}
+	for _, K := range []int{1, 2, 7, 32} {
+		tasks, err := Churn(rng, 200, K, 0.8, 0.3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		maxCols := K / 2
+		if maxCols < 1 {
+			maxCols = 1
+		}
+		prev := 0.0
+		for i, task := range tasks {
+			if task.Release < prev {
+				t.Fatalf("K=%d task %d: releases not nondecreasing", K, i)
+			}
+			prev = task.Release
+			if task.Cols < 1 || task.Cols > maxCols {
+				t.Fatalf("K=%d task %d: %d columns outside [1, %d]", K, i, task.Cols, maxCols)
+			}
+			if task.Duration < 0.5 || task.Duration >= 1.5 {
+				t.Fatalf("K=%d task %d: duration %g outside [0.5, 1.5)", K, i, task.Duration)
+			}
+			if task.Lifetime <= 0 || task.Lifetime > task.Duration {
+				t.Fatalf("K=%d task %d: lifetime %g outside (0, %g]", K, i, task.Lifetime, task.Duration)
+			}
+			if task.Lifetime < 0.3*task.Duration {
+				t.Fatalf("K=%d task %d: lifetime below the shrink floor", K, i)
+			}
+		}
+	}
+}
