@@ -1,10 +1,11 @@
 # CI entry points for the strippack reproduction. `make ci` is what a
 # pipeline should run; the individual targets mirror the tier-1 check
-# (`go build ./... && go test ./...`) plus vet and a benchmark smoke pass.
+# (`go build ./... && go test ./...`) plus vet, a race pass over the
+# concurrent packages and a benchmark smoke pass.
 
 GO ?= go
 
-.PHONY: all build test vet ci bench-smoke bench-record fuzz determinism
+.PHONY: all build test vet race ci bench-smoke bench-record fuzz determinism
 
 all: ci
 
@@ -17,7 +18,14 @@ test:
 vet:
 	$(GO) vet ./...
 
-ci: build vet test determinism
+# The online scheduler, fault harness and experiment drivers under the
+# race detector. The experiments tests exercise E13/E14 with their
+# default per-policy fan-out (one goroutine per policy), so the churn
+# worker pool runs genuinely concurrent under -race.
+race:
+	$(GO) test -race ./internal/fpga ./internal/faultinject ./internal/experiments
+
+ci: build vet test race determinism
 
 # One iteration of every benchmark: catches bit-rot in the bench harness
 # without the cost of a full measurement run.
@@ -26,27 +34,32 @@ bench-smoke:
 
 # Full measurement run recorded as JSON (see cmd/benchjson). Bump the
 # output name when recording a new trajectory point:
-#   make bench-record BENCH_OUT=BENCH_5.json
-BENCH_OUT ?= BENCH_4.json
+#   make bench-record BENCH_OUT=BENCH_6.json
+BENCH_OUT ?= BENCH_5.json
 bench-record:
 	$(GO) run ./cmd/benchjson -out $(BENCH_OUT) -bench . -benchtime 2s
 
-# Property-based fuzzing of the skyline hot path.
+# Property-based fuzzing: the skyline hot path, the online scheduler's
+# submit/complete state machine, and snapshot/restore replay fidelity.
+# (go test accepts one -fuzz pattern per invocation, hence three runs.)
 fuzz:
 	$(GO) test ./internal/geom -fuzz FuzzSkylinePlace -fuzztime 30s
+	$(GO) test ./internal/fpga -fuzz FuzzSubmitComplete -fuzztime 30s
+	$(GO) test ./internal/fpga -fuzz FuzzSnapshotRestore -fuzztime 30s
 
 # The parallel engines' determinism contracts: experiment tables must be
 # byte-identical regardless of the trial-pool width (-parallel), the DC
 # recursion's worker count (-dc-workers), the configuration-LP pricing
-# fan-out (-cg-workers) and E13's per-policy simulation fan-out
-# (-churn-workers). Runs in a private temp dir so concurrent invocations
-# on a shared host cannot clobber each other.
+# fan-out (-cg-workers), E13's per-policy simulation fan-out
+# (-churn-workers) and E14's per-admission-policy fan-out (-admission).
+# Runs in a private temp dir so concurrent invocations on a shared host
+# cannot clobber each other.
 determinism:
 	@dir=$$(mktemp -d) && trap 'rm -rf "$$dir"' EXIT && \
 	$(GO) build -o $$dir/experiments ./cmd/experiments && \
-	$$dir/experiments -parallel 1 -dc-workers 1 -cg-workers 1 -churn-workers 1 > $$dir/tables-serial.txt && \
-	$$dir/experiments -parallel 8 -dc-workers 8 -cg-workers 8 -churn-workers 3 > $$dir/tables-par.txt && \
-	$$dir/experiments -parallel 1 -dc-workers 8 -cg-workers 8 -churn-workers 3 > $$dir/tables-dcpar.txt && \
+	$$dir/experiments -parallel 1 -dc-workers 1 -cg-workers 1 -churn-workers 1 -admission 1 > $$dir/tables-serial.txt && \
+	$$dir/experiments -parallel 8 -dc-workers 8 -cg-workers 8 -churn-workers 3 -admission 3 > $$dir/tables-par.txt && \
+	$$dir/experiments -parallel 1 -dc-workers 8 -cg-workers 8 -churn-workers 3 -admission 3 > $$dir/tables-dcpar.txt && \
 	cmp $$dir/tables-serial.txt $$dir/tables-par.txt && \
 	cmp $$dir/tables-serial.txt $$dir/tables-dcpar.txt && \
-	echo "determinism: tables byte-identical across -parallel, -dc-workers, -cg-workers and -churn-workers"
+	echo "determinism: tables byte-identical across -parallel, -dc-workers, -cg-workers, -churn-workers and -admission"

@@ -328,6 +328,108 @@ func BenchmarkOnlineChurn100k(b *testing.B)          { benchChurn(b, fpga.Reclai
 func BenchmarkOnlineChurn100kReclaim(b *testing.B)   { benchChurn(b, fpga.Reclaim) }
 func BenchmarkOnlineChurn100kNoReclaim(b *testing.B) { benchChurn(b, fpga.NoReclaim) }
 
+// benchDrainBacklog pins the incremental-compaction claim: each iteration
+// builds a standing queue of q full-width tasks, then drains the first m
+// completions. Every completion triggers a reclaim + compaction pass, but
+// only the affected column heads are examined, so ns/op must stay flat as
+// q grows. The old full-sweep compactor re-sorted and re-floored the
+// entire waiting set per reclaim, making this pair diverge ~q-fold.
+func benchDrainBacklog(b *testing.B, q int) {
+	const K = 16
+	const m = 1024 // completions measured per iteration
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		o := fpga.NewOnlineSchedulerPolicy(fpga.NewDevice(K), fpga.ReclaimCompact)
+		for j := 0; j < q; j++ {
+			if _, err := o.SubmitWithLifetime(j, "", K, 1, 1, 0); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.StartTimer()
+		if err := o.AdvanceTo(m); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkReclaimBacklog2k(b *testing.B)  { benchDrainBacklog(b, 2_048) }
+func BenchmarkReclaimBacklog16k(b *testing.B) { benchDrainBacklog(b, 16_384) }
+
+// benchOverload replays an n-task churn stream at 0.90 offered load —
+// past the ~0.75 fragmentation capacity, so the stream genuinely
+// overloads the device — under a bounded admission policy. The bound is
+// what keeps a 100k-task overload run affordable at all.
+func benchOverload(b *testing.B, ac fpga.AdmissionConfig) {
+	const K = 16
+	rng := rand.New(rand.NewSource(17))
+	tasks, err := workload.Churn(rng, 100_000, K, 0.90, 0.3)
+	if err != nil {
+		b.Fatal(err)
+	}
+	d := fpga.NewDevice(K)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := fpga.RunChurnAdmission(tasks, d, fpga.ReclaimCompact, ac); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkOverloadReject100k(b *testing.B) {
+	benchOverload(b, fpga.AdmissionConfig{Policy: fpga.AdmitBounded, MaxBacklog: 64})
+}
+func BenchmarkOverloadShed100k(b *testing.B) {
+	benchOverload(b, fpga.AdmissionConfig{Policy: fpga.AdmitShed, MaxBacklog: 64})
+}
+
+// BenchmarkBurstShed100k drives bursty traffic (sustainable quiet phase,
+// 3x overloaded bursts half the time) through the shed policy — the
+// workload admission control exists for.
+func BenchmarkBurstShed100k(b *testing.B) {
+	const K = 16
+	rng := rand.New(rand.NewSource(19))
+	tasks, err := workload.Burst(rng, 100_000, K, 0.4, 1.2, 0.3, 200, 100)
+	if err != nil {
+		b.Fatal(err)
+	}
+	d := fpga.NewDevice(K)
+	ac := fpga.AdmissionConfig{Policy: fpga.AdmitShed, MaxBacklog: 64}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := fpga.RunChurnAdmission(tasks, d, fpga.ReclaimCompact, ac); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSnapshotRestore measures the crash-recovery round trip
+// (Snapshot -> RestoreScheduler, without the JSON encode) on a scheduler
+// carrying a 10k-task history with a live backlog.
+func BenchmarkSnapshotRestore(b *testing.B) {
+	const K = 64
+	rng := rand.New(rand.NewSource(23))
+	tasks, err := workload.Churn(rng, 10_000, K, 0.90, 0.3)
+	if err != nil {
+		b.Fatal(err)
+	}
+	o := fpga.NewOnlineSchedulerPolicy(fpga.NewDevice(K), fpga.ReclaimCompact)
+	for id, ct := range tasks {
+		if _, err := o.SubmitWithLifetime(id, "", ct.Cols, ct.Duration, ct.Lifetime, ct.Release); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := fpga.RestoreScheduler(o.Snapshot()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 func BenchmarkFValues4096(b *testing.B) {
 	rng := rand.New(rand.NewSource(10))
 	in := workload.DAGWorkload(rng, 4096, 32, 0.1)

@@ -14,11 +14,13 @@
 //	fpgasim -k 8 -n 24 -algo dc
 //	fpgasim -k 8 -algo aptas -release 4 < instance.json
 //	fpgasim -k 16 -n 500 -churn -load 0.85 -policy all
+//	fpgasim -k 16 -n 2000 -churn -load 0.9 -admission shed -backlog 32
 package main
 
 import (
 	"flag"
 	"fmt"
+	"math"
 	"math/rand"
 	"os"
 
@@ -38,13 +40,46 @@ func main() {
 	eps := flag.Float64("eps", 1.0, "APTAS epsilon")
 	churn := flag.Bool("churn", false, "run the online churn scenario (completion events + column reclamation)")
 	policy := flag.String("policy", "all", "churn completion policy: none, reclaim, compact, or all")
-	load := flag.Float64("load", 0.85, "churn offered load as a fraction of device capacity")
-	shrink := flag.Float64("shrink", 0.3, "churn minimum lifetime fraction of the declared duration")
+	load := flag.Float64("load", 0.85, "churn offered load as a fraction of device capacity, in (0, 1]")
+	shrink := flag.Float64("shrink", 0.3, "churn minimum lifetime fraction of the declared duration, in (0, 1]")
+	admission := flag.String("admission", "unbounded", "churn admission policy: unbounded, reject, or shed")
+	backlog := flag.Int("backlog", 64, "churn waiting-queue bound for -admission reject/shed")
 	flag.Parse()
 
+	// Validate before running: a NaN or out-of-range flag must exit with
+	// usage, not panic mid-simulation or silently produce a meaningless
+	// table.
+	if *k < 1 {
+		usage("-k must be >= 1, got %d", *k)
+	}
+	if !*stdin && *n < 1 {
+		usage("-n must be >= 1, got %d", *n)
+	}
 	if *churn {
-		runChurn(*k, *n, *seed, *load, *shrink, *policy)
+		if math.IsNaN(*load) || *load <= 0 || *load > 1 {
+			usage("-load must be in (0, 1], got %g", *load)
+		}
+		if math.IsNaN(*shrink) || *shrink <= 0 || *shrink > 1 {
+			usage("-shrink must be in (0, 1], got %g", *shrink)
+		}
+		if *policy != "all" {
+			if _, err := fpga.ParsePolicy(*policy); err != nil {
+				usage("%v", err)
+			}
+		}
+		ac, err := fpga.ParseAdmission(*admission)
+		if err != nil {
+			usage("%v", err)
+		}
+		if ac != fpga.AdmitAll && *backlog < 1 {
+			usage("-backlog must be >= 1 with -admission %s, got %d", *admission, *backlog)
+		}
+		runChurn(*k, *n, *seed, *load, *shrink, *policy,
+			fpga.AdmissionConfig{Policy: ac, MaxBacklog: *backlog})
 		return
+	}
+	if math.IsNaN(*eps) || *eps <= 0 {
+		usage("-eps must be positive, got %g", *eps)
 	}
 
 	var in *strippack.Instance
@@ -107,8 +142,9 @@ func main() {
 }
 
 // runChurn replays one churn workload under the requested completion
-// policies and prints the OS-level metrics side by side.
-func runChurn(k, n int, seed int64, load, shrink float64, policy string) {
+// policies and admission control, printing the OS-level metrics side by
+// side.
+func runChurn(k, n int, seed int64, load, shrink float64, policy string, ac fpga.AdmissionConfig) {
 	rng := rand.New(rand.NewSource(seed))
 	tasks, err := workload.Churn(rng, n, k, load, shrink)
 	if err != nil {
@@ -124,18 +160,30 @@ func runChurn(k, n int, seed int64, load, shrink float64, policy string) {
 		}
 		policies = []fpga.Policy{p}
 	}
-	fmt.Printf("device: %d columns   tasks: %d   load: %.2f   shrink: %.2f\n", k, n, load, shrink)
-	fmt.Printf("%-8s %10s %12s %10s %12s %8s %8s\n",
-		"policy", "makespan", "utilization", "mean wait", "reclaimed", "passes", "moved")
+	fmt.Printf("device: %d columns   tasks: %d   load: %.2f   shrink: %.2f   admission: %s",
+		k, n, load, shrink, ac.Policy)
+	if ac.Policy != fpga.AdmitAll {
+		fmt.Printf(" (backlog <= %d)", ac.MaxBacklog)
+	}
+	fmt.Println()
+	fmt.Printf("%-8s %10s %12s %10s %12s %8s %8s %8s %8s\n",
+		"policy", "makespan", "utilization", "mean wait", "reclaimed", "moved", "rejected", "shed", "peakq")
 	for _, p := range policies {
-		_, st, err := fpga.RunChurn(tasks, fpga.NewDevice(k), p)
+		_, st, err := fpga.RunChurnAdmission(tasks, fpga.NewDevice(k), p, ac)
 		if err != nil {
 			fatal(err)
 		}
-		fmt.Printf("%-8s %10.4f %11.1f%% %10.4f %12.4f %8d %8d\n",
+		fmt.Printf("%-8s %10.4f %11.1f%% %10.4f %12.4f %8d %8d %8d %8d\n",
 			p, st.Makespan, 100*st.Utilization, st.MeanWait,
-			st.ReclaimedColumnTime, st.CompactPasses, st.TasksMoved)
+			st.ReclaimedColumnTime, st.TasksMoved, st.Rejected, st.Shed, st.MaxBacklog)
 	}
+}
+
+// usage prints a diagnostic plus the flag summary and exits non-zero.
+func usage(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "fpgasim: "+format+"\n", args...)
+	flag.Usage()
+	os.Exit(2)
 }
 
 func fatal(err error) {

@@ -51,6 +51,7 @@ func All() []Experiment {
 		{"E11", "Foundation [16]: Kenyon-Remila APTAS vs shelf packers", E11},
 		{"E12", "Online (non-clairvoyant) vs offline release-time scheduling", E12},
 		{"E13", "OS churn: no-reclaim vs reclaim vs reclaim+compaction", E13},
+		{"E14", "Overload: admission control (unbounded vs reject vs shed) across load", E14},
 	}
 }
 
@@ -97,6 +98,12 @@ func cgOpts() release.CGOptions {
 // result slot, so the fan-out cannot change the table.
 var ChurnWorkers int
 
+// AdmissionWorkers is the fan-out for E14's per-trial admission-policy
+// simulations (the three independent replays of one overload workload;
+// 0 or 1 = serial). cmd/experiments exposes it as -admission; `make
+// determinism` pins it to 1 and 3 under the byte-identical contract.
+var AdmissionWorkers int
+
 // Per-experiment base seeds for RunGrid (trial seed = base ^ trialIndex).
 const (
 	seedE1  int64 = 0xAB1<<8 | 0xE1
@@ -110,6 +117,7 @@ const (
 	seedE11 int64 = 0xAB1<<8 | 0x11
 	seedE12 int64 = 0xAB1<<8 | 0x12
 	seedE13 int64 = 0xAB1<<8 | 0x13
+	seedE14 int64 = 0xAB1<<8 | 0x14
 )
 
 // E1 measures DC height against the best simple lower bound on random
@@ -912,6 +920,123 @@ func E13(w io.Writer) error {
 			stats.Summarize(mkC).Mean, stats.Summarize(ratio).Mean,
 			stats.Summarize(utilN).Mean, stats.Summarize(utilC).Mean,
 			stats.Summarize(reclaimed).Mean, moved/seeds, anomalies)
+	}
+	t.Render(w)
+	return nil
+}
+
+// E14 measures what each admission policy buys past the device's
+// fragmentation-limited capacity (~0.75 offered load for this task mix —
+// see bench_test.go): identical churn streams at offered loads from the
+// stable regime into deep overload run through the compaction scheduler
+// under unbounded admission, bounded-reject, and shed-oldest, all with the
+// same backlog bound. The unbounded peak backlog (`peakq unb`) grows with
+// load while the bounded policies pin it at the bound (`peakq bnd`,
+// asserted per trial, not just tabulated); the price is the reject/shed
+// rate, and the payoff is that makespan and mean wait stay those of the
+// admitted population instead of degrading unboundedly.
+//
+// The three replays of a trial fan out on AdmissionWorkers goroutines
+// under the same byte-identical determinism contract as E13.
+func E14(w io.Writer) error {
+	const (
+		K     = 16
+		n     = 1500
+		bound = 32
+	)
+	loads := []float64{0.60, 0.75, 0.85, 0.90, 0.95}
+	admissions := [3]fpga.AdmissionConfig{
+		{Policy: fpga.AdmitAll},
+		{Policy: fpga.AdmitBounded, MaxBacklog: bound},
+		{Policy: fpga.AdmitShed, MaxBacklog: bound},
+	}
+	type res struct {
+		mk      [3]float64 // makespan per admission policy: unbounded, reject, shed
+		util    [3]float64
+		wait    [3]float64
+		peak    [3]int // peak waiting backlog
+		rejrate float64
+		shdrate float64
+	}
+	rows, err := RunGrid(len(loads), seeds, seedE14, func(t Trial, rng *rand.Rand) (res, error) {
+		load := loads[t.Row]
+		tasks, err := workload.Churn(rng, n, K, load, 0.4)
+		if err != nil {
+			return res{}, err
+		}
+		var stats [3]*fpga.ChurnStats
+		workers := AdmissionWorkers
+		if workers == 0 {
+			workers = len(admissions)
+		}
+		err = RunN(len(admissions), workers, func(i int) error {
+			_, st, err := fpga.RunChurnAdmission(tasks, fpga.NewDevice(K), fpga.ReclaimCompact, admissions[i])
+			if err != nil {
+				return err
+			}
+			stats[i] = st
+			return nil
+		})
+		if err != nil {
+			return res{}, err
+		}
+		var r res
+		for i, st := range stats {
+			r.mk[i] = st.Makespan
+			r.util[i] = st.Utilization
+			r.wait[i] = st.MeanWait
+			r.peak[i] = st.MaxBacklog
+			if st.Admitted+st.Rejected+st.Shed != n {
+				return res{}, fmt.Errorf("E14 load=%g %v: %d admitted + %d rejected + %d shed != %d tasks",
+					load, admissions[i].Policy, st.Admitted, st.Rejected, st.Shed, n)
+			}
+			if admissions[i].Policy != fpga.AdmitAll && st.MaxBacklog > bound {
+				return res{}, fmt.Errorf("E14 load=%g %v: backlog peaked at %d, bound %d",
+					load, admissions[i].Policy, st.MaxBacklog, bound)
+			}
+		}
+		if stats[0].Rejected+stats[0].Shed != 0 {
+			return res{}, fmt.Errorf("E14 load=%g: unbounded admission refused %d tasks",
+				load, stats[0].Rejected+stats[0].Shed)
+		}
+		if stats[1].Shed != 0 {
+			return res{}, fmt.Errorf("E14 load=%g: reject policy shed %d tasks", load, stats[1].Shed)
+		}
+		r.rejrate = float64(stats[1].Rejected) / n
+		r.shdrate = float64(stats[2].Shed) / n
+		return r, nil
+	})
+	if err != nil {
+		return err
+	}
+	t := &stats.Table{Header: []string{"load", "mk unb", "mk rej", "mk shed",
+		"util unb", "wait unb", "wait rej", "rej rate", "shed rate", "peakq unb", "peakq bnd"}}
+	for i, load := range loads {
+		var mkU, mkR, mkS, utilU, waitU, waitR, rejrate, shdrate []float64
+		peakU, peakB := 0, 0
+		for _, r := range rows[i] {
+			mkU = append(mkU, r.mk[0])
+			mkR = append(mkR, r.mk[1])
+			mkS = append(mkS, r.mk[2])
+			utilU = append(utilU, r.util[0])
+			waitU = append(waitU, r.wait[0])
+			waitR = append(waitR, r.wait[1])
+			rejrate = append(rejrate, r.rejrate)
+			shdrate = append(shdrate, r.shdrate)
+			if r.peak[0] > peakU {
+				peakU = r.peak[0]
+			}
+			for _, p := range r.peak[1:] {
+				if p > peakB {
+					peakB = p
+				}
+			}
+		}
+		t.Add(load, stats.Summarize(mkU).Mean, stats.Summarize(mkR).Mean,
+			stats.Summarize(mkS).Mean, stats.Summarize(utilU).Mean,
+			stats.Summarize(waitU).Mean, stats.Summarize(waitR).Mean,
+			stats.Summarize(rejrate).Mean, stats.Summarize(shdrate).Mean,
+			peakU, peakB)
 	}
 	t.Render(w)
 	return nil

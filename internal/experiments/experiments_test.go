@@ -18,8 +18,8 @@ func TestAllHaveUniqueIDsAndTitles(t *testing.T) {
 		}
 		seen[e.ID] = true
 	}
-	if len(seen) != 13 {
-		t.Fatalf("expected 13 experiments, got %d", len(seen))
+	if len(seen) != 14 {
+		t.Fatalf("expected 14 experiments, got %d", len(seen))
 	}
 }
 
@@ -78,8 +78,9 @@ func TestSmallExperimentsRun(t *testing.T) {
 	// n=4096, E6, E7) are exercised by cmd/experiments and the benchmarks.
 	// E13 is included: its per-trial assertions (compaction never worse
 	// than no-reclaim, no-reclaim reclaims nothing) must hold on the exact
-	// grid the table publishes.
-	for _, id := range []string{"E3", "E5", "E8", "E10", "E13"} {
+	// grid the table publishes. E14 likewise: its backlog-bound and
+	// admission-conservation assertions run on the published grid.
+	for _, id := range []string{"E3", "E5", "E8", "E10", "E13", "E14"} {
 		id := id
 		t.Run(id, func(t *testing.T) {
 			runExperiment(t, id)

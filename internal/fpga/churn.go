@@ -1,6 +1,7 @@
 package fpga
 
 import (
+	"errors"
 	"fmt"
 	"slices"
 
@@ -13,7 +14,7 @@ type ChurnStats struct {
 	Makespan float64
 	// Utilization is actual busy column-time / (Columns * Makespan).
 	Utilization float64
-	// MeanWait is the mean of Start - Release over all tasks.
+	// MeanWait is the mean of Start - Release over all tasks that ran.
 	MeanWait float64
 	// ReclaimedColumnTime is the column-time handed back to the pool by
 	// early completions (0 under NoReclaim).
@@ -22,6 +23,14 @@ type ChurnStats struct {
 	// TasksMoved counts individual slides (both 0 unless ReclaimCompact).
 	CompactPasses int
 	TasksMoved    int
+	// Admitted counts tasks that ran to completion; Rejected counts
+	// submissions refused at the admission gate (ErrBacklogFull); Shed
+	// counts admitted tasks later evicted from the backlog by AdmitShed.
+	// Admitted + Rejected + Shed == len(tasks).
+	Admitted, Rejected, Shed int
+	// MaxBacklog is the peak number of waiting tasks observed — under a
+	// bounded admission policy it never exceeds the configured bound.
+	MaxBacklog int
 }
 
 // RunChurn replays a churn workload through the online scheduler under the
@@ -36,6 +45,15 @@ type ChurnStats struct {
 // re-verified by the discrete-event simulator, so a policy bug that
 // double-books a column fails loudly here rather than skewing a table.
 func RunChurn(tasks []workload.ChurnTask, d *Device, p Policy) (*Schedule, *ChurnStats, error) {
+	return RunChurnAdmission(tasks, d, p, AdmissionConfig{})
+}
+
+// RunChurnAdmission is RunChurn under an explicit admission policy:
+// submissions refused at the gate (errors.Is ErrRejected) are counted and
+// skipped — the overload regime E14 measures — and tasks shed from the
+// backlog are reported in the stats. Any other submission error is still
+// fatal.
+func RunChurnAdmission(tasks []workload.ChurnTask, d *Device, p Policy, ac AdmissionConfig) (*Schedule, *ChurnStats, error) {
 	if len(tasks) == 0 {
 		return nil, nil, fmt.Errorf("fpga: empty churn workload")
 	}
@@ -55,10 +73,16 @@ func RunChurn(tasks []workload.ChurnTask, d *Device, p Policy) (*Schedule, *Chur
 			return a - b
 		}
 	})
-	o := NewOnlineSchedulerPolicy(d, p)
+	o, err := NewOnlineSchedulerAdmission(d, p, ac)
+	if err != nil {
+		return nil, nil, err
+	}
 	for _, id := range order {
 		ct := tasks[id]
 		if _, err := o.SubmitWithLifetime(id, "", ct.Cols, ct.Duration, ct.Lifetime, ct.Release); err != nil {
+			if errors.Is(err, ErrRejected) {
+				continue
+			}
 			return nil, nil, err
 		}
 	}
@@ -70,19 +94,26 @@ func RunChurn(tasks []workload.ChurnTask, d *Device, p Policy) (*Schedule, *Chur
 	if err != nil {
 		return nil, nil, fmt.Errorf("fpga: churn schedule failed simulation: %w", err)
 	}
+	ld := o.Load()
 	st := &ChurnStats{
 		Makespan:            sim.Makespan,
 		Utilization:         sim.Utilization,
 		ReclaimedColumnTime: o.reclaimedColTime,
 		CompactPasses:       o.compactPasses,
 		TasksMoved:          o.tasksMoved,
+		Admitted:            len(sched.Tasks),
+		Rejected:            ld.Rejected,
+		Shed:                ld.Shed,
+		MaxBacklog:          ld.MaxWaiting,
 	}
 	// Post-compaction starts are what the schedule records, so MeanWait is
 	// computed from it rather than from the submission-time placements.
-	var wait float64
-	for _, t := range sched.Tasks {
-		wait += t.Start - t.Release
+	if len(sched.Tasks) > 0 {
+		var wait float64
+		for _, t := range sched.Tasks {
+			wait += t.Start - t.Release
+		}
+		st.MeanWait = wait / float64(len(sched.Tasks))
 	}
-	st.MeanWait = wait / float64(len(sched.Tasks))
 	return sched, st, nil
 }

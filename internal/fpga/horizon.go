@@ -203,6 +203,34 @@ func (t *horizonTree) appendRuns(i, lo, hi int) {
 	t.appendRuns(2*i+1, mid, hi)
 }
 
+// committedAbove returns the committed column-time ahead of `now`:
+// sum over columns of max(horizon[c] - now, 0). O(runs) via the same run
+// extraction bestWindow uses, so it is cheap enough to poll per submission.
+func (t *horizonTree) committedAbove(now float64) float64 {
+	t.runs = t.runs[:0]
+	t.appendRuns(1, 0, t.size)
+	total := 0.0
+	for _, r := range t.runs {
+		if r.val > now {
+			total += (r.val - now) * float64(r.end-r.start)
+		}
+	}
+	return total
+}
+
+// values appends the per-column horizon values to out (the snapshot
+// serialization of the tree — fill is its inverse). O(K).
+func (t *horizonTree) values(out []float64) []float64 {
+	t.runs = t.runs[:0]
+	t.appendRuns(1, 0, t.size)
+	for _, r := range t.runs {
+		for c := r.start; c < r.end; c++ {
+			out = append(out, r.val)
+		}
+	}
+	return out
+}
+
 // bestWindow returns the leftmost width-column window minimizing
 // max(floor, window max) — exactly the placement rule of the O(K·cols)
 // scan it replaces, including its Eps tie tolerance: a later window wins

@@ -83,6 +83,15 @@ func ParsePolicy(s string) (Policy, error) {
 // Submit and Complete; decisions for started tasks stay irrevocable, but
 // ReclaimCompact may re-place tasks whose occupancy has not begun.
 //
+// The scheduler also runs admission control (AdmissionConfig): past the
+// device's fragmentation-limited capacity the waiting backlog of an
+// unbounded scheduler grows without bound, so a long-running deployment
+// bounds it — rejecting (AdmitBounded) or shedding the oldest waiting task
+// (AdmitShed) once MaxBacklog tasks wait. Load() exposes saturation
+// accounting so callers can observe overload before submitting, and
+// Snapshot()/RestoreScheduler serialize the full engine state for crash
+// recovery (see snapshot.go).
+//
 // The scheduler is non-clairvoyant: it never uses information about tasks
 // not yet released (registered lifetimes are only acted on when their
 // completion event fires), making it a fair online baseline for the
@@ -90,20 +99,37 @@ func ParsePolicy(s string) (Policy, error) {
 type OnlineScheduler struct {
 	device *Device
 	// horizon holds, per column, the time it becomes free.
-	horizon *horizonTree
-	tasks   []Task
-	policy  Policy
+	horizon   *horizonTree
+	tasks     []Task
+	policy    Policy
+	admission AdmissionConfig
 
-	now    float64
-	byID   map[int]int // task ID -> index into tasks
-	done   []bool      // per task index: completed
-	actual []float64   // registered lifetime (NaN = none)
-	compQ  taskHeap    // registered completions, keyed by Start+actual
+	now     float64
+	byID    map[int]int // task ID -> index into tasks
+	done    []bool      // per task index: completed
+	shed    []bool      // per task index: evicted by admission control
+	started []bool      // per task index: occupancy begun (irrevocable)
+	actual  []float64   // registered lifetime (NaN = none)
+	compQ   taskHeap    // registered completions, keyed by Start+actual
+	startQ  taskHeap    // placed, occupancy not begun, keyed by Start-delay
+
+	// Backlog accounting (all policies).
+	waiting    int   // placed tasks whose occupancy has not begun
+	maxWaiting int   // peak backlog
+	nStarted   int   // cumulative promotions to started
+	completed  int   // cumulative completions
+	sheds      int   // cumulative admission evictions
+	rejected   int   // cumulative ErrBacklogFull refusals
+	shedIDs    []int // IDs evicted, in eviction order
+	waitFIFO   []int // submission-ordered waiting tasks (AdmitShed only)
 
 	// Compaction state, maintained only when policy == ReclaimCompact.
-	fixedEnd []float64 // per column: latest end among started/completed tasks
-	startQ   taskHeap  // placed, occupancy not begun, keyed by Start-delay
-	scratch  []float64 // compaction rebuild buffer
+	fixedEnd  []float64 // per column: latest end among started/completed tasks
+	cidx      *colIndex // per-column waiting lists in start order
+	taskNodes [][]int32 // per waiting task: its colIndex nodes (nil otherwise)
+	candQ     taskHeap  // compaction worklist, keyed by Start
+	inCand    []bool    // per task: queued in candQ
+	slackQ    []int     // waiting tasks placed above the compacted profile
 
 	// Counters surfaced in ChurnStats.
 	reclaimedColTime float64
@@ -118,15 +144,28 @@ func NewOnlineScheduler(d *Device) *OnlineScheduler {
 }
 
 // NewOnlineSchedulerPolicy returns a scheduler with an explicit completion
-// policy.
+// policy and unbounded admission.
 func NewOnlineSchedulerPolicy(d *Device, p Policy) *OnlineScheduler {
-	o := &OnlineScheduler{device: d, horizon: newHorizonTree(d.Columns),
-		policy: p, byID: make(map[int]int)}
-	if p == ReclaimCompact {
-		o.fixedEnd = make([]float64, d.Columns)
-		o.scratch = make([]float64, d.Columns)
+	o, err := NewOnlineSchedulerAdmission(d, p, AdmissionConfig{})
+	if err != nil {
+		panic(err) // unreachable: the zero AdmissionConfig always validates
 	}
 	return o
+}
+
+// NewOnlineSchedulerAdmission returns a scheduler with explicit completion
+// and admission policies. The zero AdmissionConfig is AdmitAll.
+func NewOnlineSchedulerAdmission(d *Device, p Policy, ac AdmissionConfig) (*OnlineScheduler, error) {
+	if err := ac.validate(); err != nil {
+		return nil, err
+	}
+	o := &OnlineScheduler{device: d, horizon: newHorizonTree(d.Columns),
+		policy: p, admission: ac, byID: make(map[int]int)}
+	if p == ReclaimCompact {
+		o.fixedEnd = make([]float64, d.Columns)
+		o.cidx = newColIndex(d.Columns)
+	}
+	return o, nil
 }
 
 // Submit places one task (cols contiguous columns for duration time units,
@@ -139,6 +178,11 @@ func NewOnlineSchedulerPolicy(d *Device, p Policy) *OnlineScheduler {
 // bound, so without explicit guards a NaN duration or release would slip
 // past the validation, poison the horizon tree and corrupt every later
 // placement.
+//
+// Under a bounded admission policy a submission that would have to wait
+// while the backlog is at MaxBacklog is refused with an error matching
+// ErrBacklogFull (and ErrRejected); AdmitShed instead evicts the oldest
+// waiting task to admit the new one.
 func (o *OnlineScheduler) Submit(id int, name string, cols int, duration, release float64) (Task, error) {
 	return o.submit(id, name, cols, duration, math.NaN(), release)
 }
@@ -150,27 +194,33 @@ func (o *OnlineScheduler) Submit(id int, name string, cols int, duration, releas
 // and a task that finishes early frees its columns under
 // Reclaim/ReclaimCompact.
 func (o *OnlineScheduler) SubmitWithLifetime(id int, name string, cols int, duration, actual, release float64) (Task, error) {
-	if math.IsNaN(actual) || math.IsInf(actual, 0) || actual <= 0 {
-		return Task{}, fmt.Errorf("fpga: task %d has invalid actual lifetime %g", id, actual)
+	if math.IsNaN(actual) || math.IsInf(actual, 0) {
+		return Task{}, fmt.Errorf("%w: task %d has non-finite actual lifetime %g", ErrNonFinite, id, actual)
+	}
+	if actual <= 0 {
+		return Task{}, fmt.Errorf("%w: task %d has non-positive actual lifetime %g", ErrInvalidTask, id, actual)
 	}
 	if actual > duration {
-		return Task{}, fmt.Errorf("fpga: task %d actual lifetime %g exceeds declared duration %g", id, actual, duration)
+		return Task{}, fmt.Errorf("%w: task %d actual lifetime %g exceeds declared duration %g", ErrInvalidTask, id, actual, duration)
 	}
 	return o.submit(id, name, cols, duration, actual, release)
 }
 
 func (o *OnlineScheduler) submit(id int, name string, cols int, duration, actual, release float64) (Task, error) {
 	if cols < 1 || cols > o.device.Columns {
-		return Task{}, fmt.Errorf("fpga: task %d needs %d of %d columns", id, cols, o.device.Columns)
+		return Task{}, fmt.Errorf("%w: task %d needs %d of %d columns", ErrInvalidTask, id, cols, o.device.Columns)
 	}
-	if math.IsNaN(duration) || math.IsInf(duration, 0) || duration <= 0 {
-		return Task{}, fmt.Errorf("fpga: task %d has invalid duration %g", id, duration)
+	if math.IsNaN(duration) || math.IsInf(duration, 0) {
+		return Task{}, fmt.Errorf("%w: task %d has non-finite duration %g", ErrNonFinite, id, duration)
+	}
+	if duration <= 0 {
+		return Task{}, fmt.Errorf("%w: task %d has non-positive duration %g", ErrInvalidTask, id, duration)
 	}
 	if math.IsNaN(release) || math.IsInf(release, 0) {
-		return Task{}, fmt.Errorf("fpga: task %d has invalid release %g", id, release)
+		return Task{}, fmt.Errorf("%w: task %d has non-finite release %g", ErrNonFinite, id, release)
 	}
 	if _, dup := o.byID[id]; dup {
-		return Task{}, fmt.Errorf("fpga: duplicate task ID %d", id)
+		return Task{}, fmt.Errorf("%w: task %d", ErrDuplicateID, id)
 	}
 	// Submission advances the clock: a task cannot arrive before events
 	// already processed, and a placement never starts in the past. (The
@@ -184,6 +234,26 @@ func (o *OnlineScheduler) submit(id int, name string, cols int, duration, actual
 		return Task{}, err
 	}
 	bestStart, bestCol := o.horizon.bestWindow(cols, floor)
+	// Admission control: bestStart (pre-delay) is when occupancy would
+	// begin. A task that cannot begin now joins the backlog — refuse or
+	// make room per the admission policy. The clock advance above is not
+	// rolled back (those events were due regardless), but no placement
+	// state is touched by a refusal.
+	if bestStart > o.now+geom.Eps && o.admission.Policy != AdmitAll && o.waiting >= o.admission.MaxBacklog {
+		if o.admission.Policy == AdmitBounded || !o.shedOldest() {
+			o.rejected++
+			return Task{}, &admissionError{fmt.Sprintf(
+				"fpga: task %d refused: %d tasks waiting >= backlog bound %d",
+				id, o.waiting, o.admission.MaxBacklog)}
+		}
+		// A task was shed. Under NoReclaim/Reclaim its window returned to
+		// the placement horizon, so re-evaluate the placement; under
+		// ReclaimCompact the placement tree is untouched by design.
+		if o.policy != ReclaimCompact {
+			bestStart, bestCol = o.horizon.bestWindow(cols, floor)
+		}
+	}
+	occupancy := bestStart // when the reconfiguration for this task begins
 	bestStart += o.device.ReconfigDelay
 	t := Task{ID: id, Name: name, FirstCol: bestCol, Cols: cols,
 		Start: bestStart, Duration: duration, Release: release}
@@ -192,12 +262,26 @@ func (o *OnlineScheduler) submit(id int, name string, cols int, duration, actual
 	o.tasks = append(o.tasks, t)
 	o.byID[id] = idx
 	o.done = append(o.done, false)
+	o.shed = append(o.shed, false)
+	o.started = append(o.started, false)
 	o.actual = append(o.actual, actual)
 	if o.policy == ReclaimCompact {
-		if t.Start-o.device.ReconfigDelay <= o.now+geom.Eps {
-			o.fix(idx) // occupancy begins immediately: irrevocable
-		} else {
-			o.startQ.push(t.Start-o.device.ReconfigDelay, idx)
+		o.taskNodes = append(o.taskNodes, nil)
+		o.inCand = append(o.inCand, false)
+	}
+	if occupancy <= o.now+geom.Eps {
+		o.markStarted(idx) // occupancy begins immediately: irrevocable
+	} else {
+		o.waiting++
+		if o.waiting > o.maxWaiting {
+			o.maxWaiting = o.waiting
+		}
+		o.startQ.push(occupancy, idx)
+		if o.admission.Policy == AdmitShed {
+			o.waitFIFO = append(o.waitFIFO, idx)
+		}
+		if o.policy == ReclaimCompact {
+			o.linkWaiting(idx)
 		}
 	}
 	if !math.IsNaN(actual) {
@@ -206,8 +290,18 @@ func (o *OnlineScheduler) submit(id int, name string, cols int, duration, actual
 	return t, nil
 }
 
-// fix marks a task as started: its placement becomes irrevocable and its
-// declared end joins the per-column fixed horizon.
+// markStarted marks a task as started: its placement becomes irrevocable
+// and, under ReclaimCompact, its declared end joins the per-column fixed
+// horizon.
+func (o *OnlineScheduler) markStarted(idx int) {
+	o.started[idx] = true
+	o.nStarted++
+	if o.policy == ReclaimCompact {
+		o.fix(idx)
+	}
+}
+
+// fix folds a started task's end into the per-column fixed horizon.
 func (o *OnlineScheduler) fix(idx int) {
 	t := o.tasks[idx]
 	for c := t.FirstCol; c < t.FirstCol+t.Cols; c++ {
@@ -218,13 +312,71 @@ func (o *OnlineScheduler) fix(idx int) {
 }
 
 // promote moves every queued task whose occupancy begins at or before t
-// into the started (irrevocable) state.
+// into the started (irrevocable) state. Entries whose task already started
+// are stale duplicates left behind by a compaction slide (the slide pushed
+// a fresh entry at the lower key, which always pops first) and are
+// skipped, as are shed tasks.
 func (o *OnlineScheduler) promote(t float64) {
 	for len(o.startQ) > 0 && o.startQ[0].key <= t+geom.Eps {
 		_, idx := o.startQ.pop()
-		o.fix(idx)
+		if o.started[idx] || o.shed[idx] {
+			continue
+		}
+		o.waiting--
+		if o.policy == ReclaimCompact {
+			o.unlinkWaiting(idx)
+		}
+		o.markStarted(idx)
 	}
 }
+
+// shedOldest evicts the oldest waiting task (lowest submission index) and
+// reports whether one was found. Only called under AdmitShed.
+func (o *OnlineScheduler) shedOldest() bool {
+	for len(o.waitFIFO) > 0 {
+		idx := o.waitFIFO[0]
+		o.waitFIFO = o.waitFIFO[1:]
+		if o.started[idx] || o.done[idx] || o.shed[idx] {
+			continue // already promoted or evicted; lazily dropped here
+		}
+		o.shedTask(idx)
+		return true
+	}
+	return false
+}
+
+// shedTask cancels a waiting task's reservation. Under NoReclaim/Reclaim
+// the window is handed straight back to the placement horizon (value ==
+// declared end identifies the columns the shed task still owns — the same
+// ownership argument as completion reclaim — and lowering them to the
+// window start it was placed at never undercuts an older commitment).
+// Under ReclaimCompact the placement tree stays pessimistic (the
+// anomaly-freedom invariant) and the compacted profile drops instead:
+// successors on the shed task's columns slide down onto the vacated time.
+func (o *OnlineScheduler) shedTask(idx int) {
+	t := o.tasks[idx]
+	o.shed[idx] = true
+	o.waiting--
+	o.sheds++
+	o.shedIDs = append(o.shedIDs, t.ID)
+	switch o.policy {
+	case NoReclaim, Reclaim:
+		o.horizon.free(t.FirstCol, t.FirstCol+t.Cols, t.End(), t.Start-o.device.ReconfigDelay)
+	case ReclaimCompact:
+		for _, n := range o.taskNodes[idx] {
+			if nx := o.cidx.next[n]; nx >= 0 {
+				o.pushCand(int(o.cidx.task[nx]))
+			}
+		}
+		o.unlinkWaiting(idx)
+		o.seedSlack()
+		o.runCompact()
+	}
+}
+
+// ShedIDs returns the IDs evicted by the AdmitShed policy so far, in
+// eviction order. The slice is owned by the scheduler; do not mutate.
+func (o *OnlineScheduler) ShedIDs() []int { return o.shedIDs }
 
 // Complete records that the task actually finished at time `at`, with
 // Start < at <= declared End and at no earlier than the scheduler clock
@@ -234,31 +386,34 @@ func (o *OnlineScheduler) promote(t float64) {
 // slid down onto the reclaimed time.
 func (o *OnlineScheduler) Complete(id int, at float64) error {
 	if math.IsNaN(at) || math.IsInf(at, 0) {
-		return fmt.Errorf("fpga: task %d completion at invalid time %g", id, at)
+		return fmt.Errorf("%w: task %d completion at %g", ErrNonFinite, id, at)
 	}
 	if at < o.now-geom.Eps {
-		return fmt.Errorf("fpga: task %d completion at %g before scheduler time %g", id, at, o.now)
+		return fmt.Errorf("%w: task %d completion at %g before scheduler time %g", ErrTimeRegression, id, at, o.now)
 	}
 	idx, ok := o.byID[id]
 	if !ok {
-		return fmt.Errorf("fpga: completion for unknown task %d", id)
+		return fmt.Errorf("%w: completion for task %d", ErrUnknownTask, id)
+	}
+	if o.shed[idx] {
+		return fmt.Errorf("%w: task %d", ErrShedTask, id)
 	}
 	if o.done[idx] {
-		return fmt.Errorf("fpga: task %d completed twice", id)
+		return fmt.Errorf("%w: task %d", ErrAlreadyCompleted, id)
 	}
 	// Validate against the current placement before advancing the clock,
 	// so a rejected completion leaves the scheduler untouched. completeAt
 	// re-validates, because AdvanceTo may slide the task meanwhile.
 	if t := o.tasks[idx]; at <= t.Start {
-		return fmt.Errorf("fpga: task %d completion at %g not after its start %g", id, at, t.Start)
+		return fmt.Errorf("%w: task %d completion at %g not after its start %g", ErrBadCompletionTime, id, at, t.Start)
 	} else if at > t.End()+geom.Eps {
-		return fmt.Errorf("fpga: task %d completion at %g after its declared end %g", id, at, t.End())
+		return fmt.Errorf("%w: task %d completion at %g after its declared end %g", ErrBadCompletionTime, id, at, t.End())
 	}
 	if err := o.AdvanceTo(at); err != nil {
 		return err
 	}
 	if o.done[idx] { // possibly completed by a registered lifetime just now
-		return fmt.Errorf("fpga: task %d completed twice", id)
+		return fmt.Errorf("%w: task %d", ErrAlreadyCompleted, id)
 	}
 	return o.completeAt(idx, at)
 }
@@ -266,20 +421,20 @@ func (o *OnlineScheduler) Complete(id int, at float64) error {
 func (o *OnlineScheduler) completeAt(idx int, at float64) error {
 	t := &o.tasks[idx]
 	if at <= t.Start {
-		return fmt.Errorf("fpga: task %d completion at %g not after its start %g", t.ID, at, t.Start)
+		return fmt.Errorf("%w: task %d completion at %g not after its start %g", ErrBadCompletionTime, t.ID, at, t.Start)
 	}
 	if at > t.End()+geom.Eps {
-		return fmt.Errorf("fpga: task %d completion at %g after its declared end %g", t.ID, at, t.End())
+		return fmt.Errorf("%w: task %d completion at %g after its declared end %g", ErrBadCompletionTime, t.ID, at, t.End())
 	}
 	if at > o.now {
 		o.now = at
 	}
 	o.done[idx] = true
-	if o.policy == ReclaimCompact {
-		// Fix stragglers with their declared ends before truncating this
-		// task, so the reclaim accounting below sees the declared value.
-		o.promote(o.now)
-	}
+	o.completed++
+	// Fix stragglers with their declared ends before truncating this
+	// task, so the reclaim accounting below sees the declared value (and
+	// the waiting/started accounting stays exact under every policy).
+	o.promote(o.now)
 	oldEnd := t.End()
 	t.Duration = at - t.Start
 	if at >= oldEnd || o.policy == NoReclaim {
@@ -304,75 +459,8 @@ func (o *OnlineScheduler) completeAt(idx int, at float64) error {
 		}
 	}
 	o.reclaimedColTime += (oldEnd - at) * float64(freed)
-	o.compact()
+	o.compactRange(t.FirstCol, t.FirstCol+t.Cols)
 	return nil
-}
-
-// compact slides every waiting task (placed, occupancy not begun) down in
-// time on its own columns, in increasing start order. Keeping columns
-// fixed makes the pass anomaly-free: per-column task order is preserved
-// and, by induction over the start order, every new start is at most the
-// old one — a compaction pass can only improve the schedule it is applied
-// to (see DESIGN.md for the argument).
-func (o *OnlineScheduler) compact() {
-	if len(o.startQ) == 0 {
-		return
-	}
-	waiting := make([]int, 0, len(o.startQ))
-	for _, e := range o.startQ {
-		waiting = append(waiting, e.idx)
-	}
-	slices.SortFunc(waiting, func(a, b int) int {
-		switch {
-		case o.tasks[a].Start < o.tasks[b].Start:
-			return -1
-		case o.tasks[a].Start > o.tasks[b].Start:
-			return 1
-		default:
-			return a - b
-		}
-	})
-	// cur starts as the fixed (started/completed) per-column profile and
-	// accumulates the re-placed waiting ends. The placement tree is NOT
-	// updated: submissions keep seeing the pessimistic declared horizon,
-	// which is exactly what makes the mode anomaly-free.
-	cur := o.scratch
-	copy(cur, o.fixedEnd)
-	delay := o.device.ReconfigDelay
-	moved := false
-	for _, idx := range waiting {
-		t := &o.tasks[idx]
-		floor := t.Release
-		if floor < o.now {
-			floor = o.now
-		}
-		for c := t.FirstCol; c < t.FirstCol+t.Cols; c++ {
-			if cur[c] > floor {
-				floor = cur[c]
-			}
-		}
-		if s := floor + delay; s < t.Start-geom.Eps {
-			t.Start = s
-			moved = true
-			o.tasksMoved++
-		}
-		for c := t.FirstCol; c < t.FirstCol+t.Cols; c++ {
-			cur[c] = t.End()
-		}
-	}
-	if !moved {
-		return
-	}
-	o.compactPasses++
-	// Starts moved, so both queues' keys are stale: rebuild them.
-	for i, e := range o.startQ {
-		o.startQ[i].key = o.tasks[e.idx].Start - delay
-	}
-	o.startQ.init()
-	for i, e := range o.compQ {
-		o.compQ[i].key = o.tasks[e.idx].Start + o.actual[e.idx]
-	}
-	o.compQ.init()
 }
 
 // AdvanceTo processes every registered completion event due at or before t
@@ -383,8 +471,12 @@ func (o *OnlineScheduler) compact() {
 func (o *OnlineScheduler) AdvanceTo(t float64) error {
 	for len(o.compQ) > 0 && o.compQ[0].key <= t {
 		key, idx := o.compQ.pop()
-		if o.done[idx] {
-			continue // completed manually ahead of its registered event
+		if o.done[idx] || o.shed[idx] {
+			// Completed manually ahead of its registered event, evicted
+			// by admission control, or a stale duplicate left by a
+			// compaction slide (the slide pushed a fresh entry at the
+			// lower key, which popped — and completed the task — first).
+			continue
 		}
 		if err := o.completeAt(idx, key); err != nil {
 			return err
@@ -393,9 +485,7 @@ func (o *OnlineScheduler) AdvanceTo(t float64) error {
 	if t > o.now && !math.IsInf(t, 1) {
 		o.now = t
 	}
-	if o.policy == ReclaimCompact {
-		o.promote(o.now)
-	}
+	o.promote(o.now)
 	return nil
 }
 
@@ -409,8 +499,16 @@ func (o *OnlineScheduler) Drain() error {
 func (o *OnlineScheduler) Now() float64 { return o.now }
 
 // Schedule returns the accumulated schedule for simulation/inspection.
+// Tasks evicted by admission control never ran and are excluded.
 func (o *OnlineScheduler) Schedule() *Schedule {
-	return &Schedule{Device: o.device, Tasks: append([]Task(nil), o.tasks...)}
+	tasks := make([]Task, 0, len(o.tasks))
+	for i, t := range o.tasks {
+		if o.shed[i] {
+			continue
+		}
+		tasks = append(tasks, t)
+	}
+	return &Schedule{Device: o.device, Tasks: tasks}
 }
 
 // Makespan returns the latest column horizon — the time the last committed
@@ -470,12 +568,6 @@ func (h taskHeap) down(i int) {
 		}
 		h[i], h[c] = h[c], h[i]
 		i = c
-	}
-}
-
-func (h taskHeap) init() {
-	for i := len(h)/2 - 1; i >= 0; i-- {
-		h.down(i)
 	}
 }
 

@@ -2,6 +2,7 @@ package workload
 
 import (
 	"fmt"
+	"math"
 	"math/rand"
 )
 
@@ -17,37 +18,83 @@ type ChurnTask struct {
 	Lifetime float64 // actual run time, revealed only on completion
 }
 
+// checkChurnParams validates the shared churn parameters. Load and shrink
+// must be finite: NaN compares false against every bound, so without an
+// explicit guard a NaN load would slip past the positivity check and
+// silently yield a degenerate trace (every interarrival NaN).
+func checkChurnParams(n, K int, load, shrink float64) error {
+	if n < 1 || K < 1 {
+		return fmt.Errorf("workload: churn needs n >= 1 and K >= 1, got n=%d K=%d", n, K)
+	}
+	if math.IsNaN(load) || math.IsInf(load, 0) || load <= 0 {
+		return fmt.Errorf("workload: churn load must be positive and finite, got %g", load)
+	}
+	if math.IsNaN(shrink) || shrink <= 0 || shrink > 1 {
+		return fmt.Errorf("workload: churn shrink must be in (0, 1], got %g", shrink)
+	}
+	return nil
+}
+
+// churnInterarrival solves offered load = (mean cols * mean declared
+// duration) / (interarrival * K) for the mean interarrival at the
+// requested load fraction.
+func churnInterarrival(K, maxCols int, load float64) float64 {
+	meanCols := float64(1+maxCols) / 2
+	const meanDur = 1.0
+	return meanCols * meanDur / (float64(K) * load)
+}
+
 // Churn returns n tasks for a K-column device modeling the steady-state
 // workload of an operating system for a reconfigurable fabric: Poisson
 // arrivals whose rate offers `load` (a fraction of the device's column
-// capacity, in (0, 1] for a stable queue), column demands uniform in
-// [1, max(1, K/2)], declared durations uniform in [0.5, 1.5), and bounded
-// lifetimes — each task actually runs a uniform fraction in [shrink, 1)
-// of its declared duration.
+// capacity; (0, 1] gives a stable queue, above ~0.75 fragmentation makes
+// the backlog grow — the admission-control regime), column demands uniform
+// in [1, max(1, K/2)], declared durations uniform in [0.5, 1.5), and
+// bounded lifetimes — each task actually runs a uniform fraction in
+// [shrink, 1) of its declared duration.
 func Churn(rng *rand.Rand, n, K int, load, shrink float64) ([]ChurnTask, error) {
-	if n < 1 || K < 1 {
-		return nil, fmt.Errorf("workload: churn needs n >= 1 and K >= 1, got n=%d K=%d", n, K)
+	if err := checkChurnParams(n, K, load, shrink); err != nil {
+		return nil, err
 	}
-	if load <= 0 {
-		return nil, fmt.Errorf("workload: churn load must be positive, got %g", load)
+	return churn(rng, n, K, shrink, func(int) float64 { return load }), nil
+}
+
+// Burst returns an overload workload: the same task population as Churn,
+// but arrivals alternate between a quiet phase at baseLoad and a burst
+// phase at burstLoad. Each cycle is `period` tasks long and its first
+// `duty` tasks arrive at the burst rate — the bursty traffic that drives a
+// bounded-admission scheduler into its reject/shed regime even when the
+// average load is sustainable.
+func Burst(rng *rand.Rand, n, K int, baseLoad, burstLoad, shrink float64, period, duty int) ([]ChurnTask, error) {
+	if err := checkChurnParams(n, K, baseLoad, shrink); err != nil {
+		return nil, err
 	}
-	if shrink <= 0 || shrink > 1 {
-		return nil, fmt.Errorf("workload: churn shrink must be in (0, 1], got %g", shrink)
+	if math.IsNaN(burstLoad) || math.IsInf(burstLoad, 0) || burstLoad <= 0 {
+		return nil, fmt.Errorf("workload: burst load must be positive and finite, got %g", burstLoad)
 	}
+	if period < 1 || duty < 0 || duty > period {
+		return nil, fmt.Errorf("workload: burst needs period >= 1 and duty in [0, period], got period=%d duty=%d", period, duty)
+	}
+	return churn(rng, n, K, shrink, func(i int) float64 {
+		if i%period < duty {
+			return burstLoad
+		}
+		return baseLoad
+	}), nil
+}
+
+// churn samples the trace; loadAt gives the offered load in effect for the
+// interarrival gap preceding task i.
+func churn(rng *rand.Rand, n, K int, shrink float64, loadAt func(i int) float64) []ChurnTask {
 	maxCols := K / 2
 	if maxCols < 1 {
 		maxCols = 1
 	}
-	// Offered load = (mean cols * mean declared duration) / interarrival*K,
-	// solved for the interarrival mean at the requested load fraction.
-	meanCols := float64(1+maxCols) / 2
-	const meanDur = 1.0
-	interarrival := meanCols * meanDur / (float64(K) * load)
 	tasks := make([]ChurnTask, n)
 	t := 0.0
 	for i := range tasks {
 		if i > 0 {
-			t += rng.ExpFloat64() * interarrival
+			t += rng.ExpFloat64() * churnInterarrival(K, maxCols, loadAt(i))
 		}
 		dur := 0.5 + rng.Float64()
 		tasks[i] = ChurnTask{
@@ -57,5 +104,5 @@ func Churn(rng *rand.Rand, n, K int, load, shrink float64) ([]ChurnTask, error) 
 			Lifetime: dur * (shrink + (1-shrink)*rng.Float64()),
 		}
 	}
-	return tasks, nil
+	return tasks
 }

@@ -280,17 +280,86 @@ func TestFig1EdgeSandwich(t *testing.T) {
 	}
 }
 
+// TestChurnValidation table-tests the parameter guards: NaN compares
+// false against every bound, so a NaN load or shrink must be rejected
+// explicitly rather than silently producing a degenerate trace.
+func TestChurnValidation(t *testing.T) {
+	cases := []struct {
+		name         string
+		n, K         int
+		load, shrink float64
+	}{
+		{"empty", 0, 4, 0.8, 0.3},
+		{"no columns", 10, 0, 0.8, 0.3},
+		{"zero load", 10, 4, 0, 0.3},
+		{"negative load", 10, 4, -0.5, 0.3},
+		{"NaN load", 10, 4, math.NaN(), 0.3},
+		{"Inf load", 10, 4, math.Inf(1), 0.3},
+		{"zero shrink", 10, 4, 0.8, 0},
+		{"negative shrink", 10, 4, 0.8, -0.1},
+		{"big shrink", 10, 4, 0.8, 1.5},
+		{"NaN shrink", 10, 4, 0.8, math.NaN()},
+	}
+	for _, tc := range cases {
+		rng := rand.New(rand.NewSource(5))
+		if _, err := Churn(rng, tc.n, tc.K, tc.load, tc.shrink); err == nil {
+			t.Errorf("Churn: %s accepted", tc.name)
+		}
+		if _, err := Burst(rng, tc.n, tc.K, tc.load, 1.2, tc.shrink, 10, 5); err == nil {
+			t.Errorf("Burst: %s accepted", tc.name)
+		}
+	}
+	rng := rand.New(rand.NewSource(5))
+	for _, tc := range []struct {
+		name         string
+		burst        float64
+		period, duty int
+	}{
+		{"NaN burst load", math.NaN(), 10, 5},
+		{"zero burst load", 0, 10, 5},
+		{"zero period", 1.2, 0, 0},
+		{"negative duty", 1.2, 10, -1},
+		{"duty past period", 1.2, 10, 11},
+	} {
+		if _, err := Burst(rng, 10, 4, 0.6, tc.burst, 0.3, tc.period, tc.duty); err == nil {
+			t.Errorf("Burst: %s accepted", tc.name)
+		}
+	}
+}
+
+// TestBurstRates checks the phase structure: burst-phase interarrival gaps
+// are drawn at the higher rate, so their mean over many cycles is well
+// below the quiet phases'.
+func TestBurstRates(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	const period, duty = 20, 10
+	tasks, err := Burst(rng, 4000, 8, 0.3, 3.0, 0.5, period, duty)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var burstGap, quietGap float64
+	var burstN, quietN int
+	for i := 1; i < len(tasks); i++ {
+		gap := tasks[i].Release - tasks[i-1].Release
+		if gap < 0 {
+			t.Fatalf("task %d: releases not nondecreasing", i)
+		}
+		if i%period < duty {
+			burstGap += gap
+			burstN++
+		} else {
+			quietGap += gap
+			quietN++
+		}
+	}
+	if burstGap/float64(burstN) >= quietGap/float64(quietN)/2 {
+		t.Fatalf("burst gaps (mean %g) not clearly shorter than quiet gaps (mean %g)",
+			burstGap/float64(burstN), quietGap/float64(quietN))
+	}
+}
+
 func TestChurn(t *testing.T) {
 	rng := rand.New(rand.NewSource(5))
-	if _, err := Churn(rng, 0, 4, 0.8, 0.3); err == nil {
-		t.Fatal("empty churn accepted")
-	}
-	if _, err := Churn(rng, 10, 4, 0, 0.3); err == nil {
-		t.Fatal("zero load accepted")
-	}
-	if _, err := Churn(rng, 10, 4, 0.8, 0); err == nil {
-		t.Fatal("zero shrink accepted")
-	}
 	for _, K := range []int{1, 2, 7, 32} {
 		tasks, err := Churn(rng, 200, K, 0.8, 0.3)
 		if err != nil {
