@@ -18,12 +18,12 @@ test:
 vet:
 	$(GO) vet ./...
 
-# The online scheduler, fault harness and experiment drivers under the
-# race detector. The experiments tests exercise E13/E14 with their
-# default per-policy fan-out (one goroutine per policy), so the churn
-# worker pool runs genuinely concurrent under -race.
+# The online scheduler, fault harness, fleet router and experiment
+# drivers under the race detector. The experiments tests exercise
+# E13/E14/E15 with their default fan-outs and the fleet tests sweep
+# worker counts, so the shard pool runs genuinely concurrent under -race.
 race:
-	$(GO) test -race ./internal/fpga ./internal/faultinject ./internal/experiments
+	$(GO) test -race ./internal/fpga ./internal/faultinject ./internal/fleet ./internal/experiments
 
 ci: build vet test race determinism
 
@@ -35,31 +35,43 @@ bench-smoke:
 # Full measurement run recorded as JSON (see cmd/benchjson). Bump the
 # output name when recording a new trajectory point:
 #   make bench-record BENCH_OUT=BENCH_6.json
-BENCH_OUT ?= BENCH_5.json
+BENCH_OUT ?= BENCH_6.json
 bench-record:
 	$(GO) run ./cmd/benchjson -out $(BENCH_OUT) -bench . -benchtime 2s
 
 # Property-based fuzzing: the skyline hot path, the online scheduler's
-# submit/complete state machine, and snapshot/restore replay fidelity.
-# (go test accepts one -fuzz pattern per invocation, hence three runs.)
+# submit/complete state machine, snapshot/restore replay fidelity, and
+# the batched-submission equivalence contract.
+# (go test accepts one -fuzz pattern per invocation, hence four runs.)
 fuzz:
 	$(GO) test ./internal/geom -fuzz FuzzSkylinePlace -fuzztime 30s
 	$(GO) test ./internal/fpga -fuzz FuzzSubmitComplete -fuzztime 30s
 	$(GO) test ./internal/fpga -fuzz FuzzSnapshotRestore -fuzztime 30s
+	$(GO) test ./internal/fpga -fuzz FuzzSubmitBatch -fuzztime 30s
 
 # The parallel engines' determinism contracts: experiment tables must be
 # byte-identical regardless of the trial-pool width (-parallel), the DC
 # recursion's worker count (-dc-workers), the configuration-LP pricing
 # fan-out (-cg-workers), E13's per-policy simulation fan-out
-# (-churn-workers) and E14's per-admission-policy fan-out (-admission).
+# (-churn-workers), E14's per-admission-policy fan-out (-admission) and
+# E15's fleet shard-execution fan-out (-fleet-workers); and the fleet
+# load harness must stream 1M tasks across 64 shards byte-identically at
+# -fleet-workers 1 vs 8, for both a load-blind and a load-aware -route.
 # Runs in a private temp dir so concurrent invocations on a shared host
 # cannot clobber each other.
 determinism:
 	@dir=$$(mktemp -d) && trap 'rm -rf "$$dir"' EXIT && \
 	$(GO) build -o $$dir/experiments ./cmd/experiments && \
-	$$dir/experiments -parallel 1 -dc-workers 1 -cg-workers 1 -churn-workers 1 -admission 1 > $$dir/tables-serial.txt && \
-	$$dir/experiments -parallel 8 -dc-workers 8 -cg-workers 8 -churn-workers 3 -admission 3 > $$dir/tables-par.txt && \
-	$$dir/experiments -parallel 1 -dc-workers 8 -cg-workers 8 -churn-workers 3 -admission 3 > $$dir/tables-dcpar.txt && \
+	$$dir/experiments -parallel 1 -dc-workers 1 -cg-workers 1 -churn-workers 1 -admission 1 -fleet-workers 1 > $$dir/tables-serial.txt && \
+	$$dir/experiments -parallel 8 -dc-workers 8 -cg-workers 8 -churn-workers 3 -admission 3 -fleet-workers 8 > $$dir/tables-par.txt && \
+	$$dir/experiments -parallel 1 -dc-workers 8 -cg-workers 8 -churn-workers 3 -admission 3 -fleet-workers 8 > $$dir/tables-dcpar.txt && \
 	cmp $$dir/tables-serial.txt $$dir/tables-par.txt && \
 	cmp $$dir/tables-serial.txt $$dir/tables-dcpar.txt && \
-	echo "determinism: tables byte-identical across -parallel, -dc-workers, -cg-workers, -churn-workers and -admission"
+	$(GO) build -o $$dir/fleetload ./cmd/fleetload && \
+	$$dir/fleetload -n 1000000 -shards 64 -route rr -fleet-workers 1 > $$dir/fleet-rr-serial.txt && \
+	$$dir/fleetload -n 1000000 -shards 64 -route rr -fleet-workers 8 > $$dir/fleet-rr-par.txt && \
+	$$dir/fleetload -n 1000000 -shards 64 -route least -fleet-workers 1 > $$dir/fleet-least-serial.txt && \
+	$$dir/fleetload -n 1000000 -shards 64 -route least -fleet-workers 8 > $$dir/fleet-least-par.txt && \
+	cmp $$dir/fleet-rr-serial.txt $$dir/fleet-rr-par.txt && \
+	cmp $$dir/fleet-least-serial.txt $$dir/fleet-least-par.txt && \
+	echo "determinism: tables and fleet harness byte-identical across every worker flag"

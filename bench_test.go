@@ -12,7 +12,9 @@ import (
 	"io"
 	"math/rand"
 	"runtime"
+	"sort"
 	"testing"
+	"time"
 
 	"strippack/internal/binpack"
 	"strippack/internal/core/precedence"
@@ -20,6 +22,7 @@ import (
 	"strippack/internal/dag"
 	"strippack/internal/exact"
 	"strippack/internal/experiments"
+	"strippack/internal/fleet"
 	"strippack/internal/fpga"
 	"strippack/internal/lp"
 	"strippack/internal/packing"
@@ -295,6 +298,41 @@ func BenchmarkOnlineSubmit100k(b *testing.B) {
 	}
 }
 
+// BenchmarkSubmitBatch100k pushes the identical 100k-task stream (same
+// seed, device and task mix as BenchmarkOnlineSubmit100k) through
+// SubmitBatch in chunks of 256. The ratio of the two benchmarks' ns/op is
+// the per-task amortization win of the batch path — one event-queue
+// advance per distinct release, the spliced run cache, the merged
+// candidate streams, and batched slice growth.
+func BenchmarkSubmitBatch100k(b *testing.B) {
+	const K = 256
+	const n = 100_000
+	const chunk = 256
+	rng := rand.New(rand.NewSource(11))
+	specs := make([]fpga.TaskSpec, n)
+	rel := 0.0
+	for i := range specs {
+		c := 1 + rng.Intn(K/4)
+		d := 0.1 + rng.Float64()
+		rel += 0.01 * rng.Float64()
+		specs[i] = fpga.TaskSpec{ID: i, Cols: c, Duration: d, Release: rel}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		o := fpga.NewOnlineScheduler(fpga.NewDevice(K))
+		for j := 0; j < n; j += chunk {
+			end := j + chunk
+			if end > n {
+				end = n
+			}
+			if _, err := o.SubmitBatch(specs[j:end]); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
 // benchChurn replays a 100k-task churn stream (256-column device, 70%
 // offered load, bounded lifetimes) through the completion engine under one
 // policy — the steady-state OS workload the reclamation subsystem exists
@@ -404,6 +442,67 @@ func BenchmarkBurstShed100k(b *testing.B) {
 		}
 	}
 }
+
+// benchFleetChurn streams a 100k-task churn trace across a 64-shard
+// fleet through the same chunked pipeline cmd/fleetload runs, reporting
+// the harness's headline metrics via ReportMetric: sustained tasks/s over
+// the placement stage, p50/p99 per-task placement latency across chunk
+// samples, and the shard count — the columns BENCH_6.json records.
+func benchFleetChurn(b *testing.B, route fleet.Route) {
+	const (
+		K      = 16
+		shards = 64
+		n      = 100_000
+		chunk  = 1024
+	)
+	b.ReportAllocs()
+	b.ResetTimer()
+	var busy time.Duration
+	var perTask []float64
+	for i := 0; i < b.N; i++ {
+		f, err := fleet.New(fleet.Config{
+			Shards: shards, Columns: K, Policy: fpga.ReclaimCompact,
+			Admission: fpga.AdmissionConfig{Policy: fpga.AdmitShed, MaxBacklog: 64},
+			Route:     route, Seed: 29,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		stream, err := workload.ChurnStream(rand.New(rand.NewSource(29)), n, K, 0.8*shards, 0.3)
+		if err != nil {
+			b.Fatal(err)
+		}
+		buf := make([]workload.ChurnTask, chunk)
+		base := 0
+		for {
+			m := stream.NextChunk(buf)
+			if m == 0 {
+				break
+			}
+			t0 := time.Now()
+			if _, err := f.SubmitBatch(fleet.Specs(buf[:m], base)); err != nil {
+				b.Fatal(err)
+			}
+			el := time.Since(t0)
+			busy += el
+			perTask = append(perTask, float64(el.Nanoseconds())/float64(m))
+			base += m
+		}
+		if err := f.Drain(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(n)*float64(b.N)/busy.Seconds(), "tasks/s")
+	sort.Float64s(perTask)
+	b.ReportMetric(perTask[len(perTask)/2], "p50-ns/task")
+	b.ReportMetric(perTask[len(perTask)*99/100], "p99-ns/task")
+	b.ReportMetric(shards, "shards")
+}
+
+func BenchmarkFleetChurn100kRR(b *testing.B)    { benchFleetChurn(b, fleet.RouteRR) }
+func BenchmarkFleetChurn100kLeast(b *testing.B) { benchFleetChurn(b, fleet.RouteLeast) }
+func BenchmarkFleetChurn100kP2C(b *testing.B)   { benchFleetChurn(b, fleet.RouteP2C) }
 
 // BenchmarkSnapshotRestore measures the crash-recovery round trip
 // (Snapshot -> RestoreScheduler, without the JSON encode) on a scheduler

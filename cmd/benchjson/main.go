@@ -1,8 +1,10 @@
-// Command benchjson runs the repository benchmarks (the E1–E12 experiment
+// Command benchjson runs the repository benchmarks (the experiment
 // tables plus the substrate micro-benchmarks in bench_test.go) and records
 // ns/op, B/op and allocs/op per benchmark as JSON, so the performance
 // trajectory of the repo is tracked in versioned artifacts (BENCH_1.json,
-// BENCH_2.json, ...).
+// BENCH_2.json, ...). Custom b.ReportMetric units — the fleet harness's
+// tasks/s, p50-ns/task, p99-ns/task and shards columns recorded into
+// BENCH_6.json — land in each result's "metrics" map.
 //
 // Usage:
 //
@@ -39,6 +41,8 @@ type Result struct {
 	NsPerOp     float64 `json:"ns_per_op"`
 	BytesPerOp  float64 `json:"bytes_per_op"`
 	AllocsPerOp float64 `json:"allocs_per_op"`
+	// Metrics holds custom b.ReportMetric columns (e.g. tasks/s) by unit.
+	Metrics map[string]float64 `json:"metrics,omitempty"`
 }
 
 // Record is the file format: run metadata plus the measurements.
@@ -57,11 +61,14 @@ type Record struct {
 	Results     []Result `json:"results"`
 }
 
-// benchLine matches `BenchmarkFoo-8   123   456.7 ns/op   89 B/op   10 allocs/op`
-// (the -N GOMAXPROCS suffix and the two -benchmem columns are optional;
-// the suffix is captured into Result.Procs).
-var benchLine = regexp.MustCompile(
-	`^(Benchmark\S+?)(?:-(\d+))?\s+(\d+)\s+([\d.]+) ns/op(?:\s+([\d.]+) B/op\s+([\d.]+) allocs/op)?`)
+// benchLine matches the head of a benchmark result line,
+// `BenchmarkFoo-8   123   ...` (the -N GOMAXPROCS suffix is optional and
+// captured into Result.Procs); the rest of the line is a sequence of
+// `value unit` measurement pairs parsed by metricPair — the standard
+// ns/op and -benchmem columns plus any custom b.ReportMetric units.
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-(\d+))?\s+(\d+)\s+(.+)$`)
+
+var metricPair = regexp.MustCompile(`([\d.eE+-]+) (\S+)`)
 
 func main() {
 	out := flag.String("out", "BENCH_1.json", "output JSON path")
@@ -106,10 +113,24 @@ func main() {
 			r.Procs, _ = strconv.Atoi(m[2])
 		}
 		r.Iterations, _ = strconv.Atoi(m[3])
-		r.NsPerOp, _ = strconv.ParseFloat(m[4], 64)
-		if m[5] != "" {
-			r.BytesPerOp, _ = strconv.ParseFloat(m[5], 64)
-			r.AllocsPerOp, _ = strconv.ParseFloat(m[6], 64)
+		for _, pair := range metricPair.FindAllStringSubmatch(m[4], -1) {
+			v, err := strconv.ParseFloat(pair[1], 64)
+			if err != nil {
+				continue
+			}
+			switch pair[2] {
+			case "ns/op":
+				r.NsPerOp = v
+			case "B/op":
+				r.BytesPerOp = v
+			case "allocs/op":
+				r.AllocsPerOp = v
+			default:
+				if r.Metrics == nil {
+					r.Metrics = map[string]float64{}
+				}
+				r.Metrics[pair[2]] = v
+			}
 		}
 		rec.Results = append(rec.Results, r)
 	}

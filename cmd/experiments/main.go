@@ -7,7 +7,7 @@
 //
 // Usage:
 //
-//	experiments             # run all of E1..E14 on GOMAXPROCS workers
+//	experiments             # run all of E1..E15 on GOMAXPROCS workers
 //	experiments E2 E4       # run a subset
 //	experiments -parallel 1 # single-threaded (same output, slower)
 //	experiments -list       # list experiments
@@ -34,6 +34,8 @@ func main() {
 		"fan-out for E13's per-trial policy simulations (0 = one per policy; results are identical for any value)")
 	admissionWorkers := flag.Int("admission", 0,
 		"fan-out for E14's per-trial admission-policy simulations (0 = one per policy; results are identical for any value)")
+	fleetWorkers := flag.Int("fleet-workers", 0,
+		"per-shard execution fan-out for E15's fleet router (0 = GOMAXPROCS; results are identical for any value)")
 	flag.Parse()
 	if *parallel < 1 {
 		fmt.Fprintln(os.Stderr, "experiments: -parallel must be >= 1")
@@ -55,11 +57,16 @@ func main() {
 		fmt.Fprintln(os.Stderr, "experiments: -admission must be >= 0")
 		os.Exit(2)
 	}
+	if *fleetWorkers < 0 {
+		fmt.Fprintln(os.Stderr, "experiments: -fleet-workers must be >= 0")
+		os.Exit(2)
+	}
 	experiments.Parallelism = *parallel
 	experiments.DCWorkers = *dcWorkers
 	experiments.CGWorkers = *cgWorkers
 	experiments.ChurnWorkers = *churnWorkers
 	experiments.AdmissionWorkers = *admissionWorkers
+	experiments.FleetWorkers = *fleetWorkers
 	if *list {
 		for _, e := range experiments.All() {
 			fmt.Printf("%-4s %s\n", e.ID, e.Title)

@@ -1,0 +1,214 @@
+// fleetload is the streaming load harness for the sharded placement
+// fleet: it pipelines workload generation → sharded placement → stat
+// aggregation through bounded channels, so a million-task run holds only
+// a few chunks in memory at a time instead of the whole trace.
+//
+//	fleetload -n 1000000 -shards 64 -k 16 -route least
+//
+// The default output is deterministic — a pure function of every flag
+// except -fleet-workers — which is what lets `make determinism` diff two
+// runs at different worker counts byte for byte. -timing adds wall-clock
+// throughput (sustained submissions/sec) and the p50/p99 per-task
+// placement latency over per-chunk samples; those lines are inherently
+// non-deterministic and are what `make bench` records into BENCH_6.json.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"sort"
+	"time"
+
+	"strippack/internal/fleet"
+	"strippack/internal/fpga"
+	"strippack/internal/workload"
+)
+
+func usage() {
+	fmt.Fprintf(os.Stderr, `fleetload: streaming churn/burst load over a fleet of online schedulers
+
+usage: fleetload [flags]
+
+`)
+	flag.PrintDefaults()
+}
+
+func main() {
+	n := flag.Int("n", 1_000_000, "number of tasks to stream")
+	shards := flag.Int("shards", 64, "number of scheduler shards")
+	k := flag.Int("k", 16, "columns per shard")
+	delay := flag.Float64("reconfig", 0, "per-task reconfiguration delay")
+	routeName := flag.String("route", "least", "placement route: rr, least, or p2c")
+	workers := flag.Int("fleet-workers", 0, "parallel shard workers (0 = GOMAXPROCS); never affects results")
+	chunk := flag.Int("chunk", 1024, "tasks per pipelined batch")
+	wl := flag.String("workload", "churn", "trace shape: churn or burst")
+	load := flag.Float64("load", 0.8, "offered load per shard (fleet offers load*shards)")
+	burstLoad := flag.Float64("burst-load", 2.4, "burst-phase per-shard load (burst workload)")
+	period := flag.Int("period", 200, "burst cycle length in tasks")
+	duty := flag.Int("duty", 100, "burst-phase tasks per cycle")
+	shrink := flag.Float64("shrink", 0.3, "lifetime shrink floor in (0,1]")
+	policyName := flag.String("policy", "compact", "completion policy: none, reclaim, or compact")
+	admissionName := flag.String("admission", "shed", "admission policy: unbounded, reject, or shed")
+	backlog := flag.Int("backlog", 64, "per-shard backlog bound for reject/shed")
+	seed := flag.Int64("seed", 1, "workload and p2c rng seed")
+	timing := flag.Bool("timing", false, "report wall-clock throughput and placement-latency percentiles")
+	flag.Usage = usage
+	flag.Parse()
+
+	policy, err := fpga.ParsePolicy(*policyName)
+	if err != nil {
+		fatal(err)
+	}
+	admission, err := fpga.ParseAdmission(*admissionName)
+	if err != nil {
+		fatal(err)
+	}
+	route, err := fleet.ParseRoute(*routeName)
+	if err != nil {
+		fatal(err)
+	}
+	ac := fpga.AdmissionConfig{Policy: admission}
+	if admission != fpga.AdmitAll {
+		ac.MaxBacklog = *backlog
+	}
+	f, err := fleet.New(fleet.Config{
+		Shards:        *shards,
+		Columns:       *k,
+		ReconfigDelay: *delay,
+		Policy:        policy,
+		Admission:     ac,
+		Route:         route,
+		Seed:          *seed,
+		Workers:       *workers,
+	})
+	if err != nil {
+		fatal(err)
+	}
+
+	// The stream offers load*shards against one shard's K columns: the
+	// fleet-wide offered load per shard is then *load, while each task
+	// still fits a single K-column device.
+	rng := rand.New(rand.NewSource(*seed))
+	var stream *workload.Stream
+	switch *wl {
+	case "churn":
+		stream, err = workload.ChurnStream(rng, *n, *k, *load*float64(*shards), *shrink)
+	case "burst":
+		stream, err = workload.BurstStream(rng, *n, *k,
+			*load*float64(*shards), *burstLoad*float64(*shards), *shrink, *period, *duty)
+	default:
+		err = fmt.Errorf("unknown workload %q (want churn or burst)", *wl)
+	}
+	if err != nil {
+		fatal(err)
+	}
+
+	st, tm, err := run(f, stream, *chunk)
+	if err != nil {
+		fatal(err)
+	}
+
+	fmt.Printf("fleetload: %d tasks, %d shards x %d columns, route=%v policy=%v admission=%v load=%g workload=%s chunk=%d seed=%d\n",
+		st.Tasks, st.Shards, *k, route, policy, admission, *load, *wl, *chunk, *seed)
+	fmt.Printf("admitted %d  rejected %d  shed %d  (conserved: %v)\n",
+		st.Admitted, st.Rejected, st.Shed, st.Admitted+st.Rejected+st.Shed == st.Tasks)
+	fmt.Printf("makespan %.4f  utilization %.4f  mean wait %.4f  peak backlog %d\n",
+		st.Makespan, st.Utilization, st.MeanWait, st.MaxBacklog)
+	var minA, maxA int
+	for i, ps := range st.PerShard {
+		if i == 0 || ps.Admitted < minA {
+			minA = ps.Admitted
+		}
+		if ps.Admitted > maxA {
+			maxA = ps.Admitted
+		}
+	}
+	fmt.Printf("per-shard admitted min %d max %d\n", minA, maxA)
+	if *timing {
+		fmt.Printf("sustained %.0f tasks/s  p50 %d ns/task  p99 %d ns/task  wall %s\n",
+			tm.rate, tm.p50, tm.p99, tm.wall.Round(time.Millisecond))
+	}
+}
+
+type timings struct {
+	rate float64 // sustained submissions/sec over the placement stage
+	p50  int64   // per-task placement latency percentiles, ns
+	p99  int64
+	wall time.Duration
+}
+
+// run drives the three-stage pipeline: a generator goroutine draining the
+// stream into chunk buffers, the placement stage routing each chunk
+// through the fleet, and an aggregator goroutine folding per-chunk
+// samples. The channels are bounded (4 chunks in flight), so memory is
+// O(chunk), not O(n).
+func run(f *fleet.Fleet, stream *workload.Stream, chunk int) (*fleet.Stats, *timings, error) {
+	if chunk < 1 {
+		return nil, nil, fmt.Errorf("chunk must be >= 1, got %d", chunk)
+	}
+	type chunkSample struct {
+		tasks   int
+		elapsed time.Duration
+	}
+	chunks := make(chan []workload.ChurnTask, 4)
+	samples := make(chan chunkSample, 4)
+
+	go func() { // generation stage
+		defer close(chunks)
+		for {
+			buf := make([]workload.ChurnTask, chunk)
+			m := stream.NextChunk(buf)
+			if m == 0 {
+				return
+			}
+			chunks <- buf[:m]
+		}
+	}()
+
+	tmCh := make(chan timings, 1)
+	go func() { // aggregation stage
+		var total int
+		var busy time.Duration
+		var perTask []float64
+		for s := range samples {
+			total += s.tasks
+			busy += s.elapsed
+			perTask = append(perTask, float64(s.elapsed.Nanoseconds())/float64(s.tasks))
+		}
+		var tm timings
+		if busy > 0 {
+			tm.rate = float64(total) / busy.Seconds()
+			tm.wall = busy
+			sort.Float64s(perTask)
+			tm.p50 = int64(perTask[len(perTask)/2])
+			tm.p99 = int64(perTask[len(perTask)*99/100])
+		}
+		tmCh <- tm
+	}()
+
+	base := 0
+	for tasks := range chunks { // placement stage
+		t0 := time.Now()
+		if _, err := f.SubmitBatch(fleet.Specs(tasks, base)); err != nil {
+			close(samples)
+			return nil, nil, err
+		}
+		samples <- chunkSample{tasks: len(tasks), elapsed: time.Since(t0)}
+		base += len(tasks)
+	}
+	close(samples)
+	tm := <-tmCh
+
+	st, err := f.Finish()
+	if err != nil {
+		return nil, nil, err
+	}
+	return st, &tm, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "fleetload:", err)
+	os.Exit(1)
+}

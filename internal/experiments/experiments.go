@@ -20,6 +20,7 @@ import (
 	"strippack/internal/core/precedence"
 	"strippack/internal/core/release"
 	"strippack/internal/dag"
+	"strippack/internal/fleet"
 	"strippack/internal/fpga"
 	"strippack/internal/geom"
 	"strippack/internal/kr"
@@ -52,6 +53,7 @@ func All() []Experiment {
 		{"E12", "Online (non-clairvoyant) vs offline release-time scheduling", E12},
 		{"E13", "OS churn: no-reclaim vs reclaim vs reclaim+compaction", E13},
 		{"E14", "Overload: admission control (unbounded vs reject vs shed) across load", E14},
+		{"E15", "Fleet routing: round-robin vs least-loaded vs power-of-two under churn", E15},
 	}
 }
 
@@ -104,6 +106,13 @@ var ChurnWorkers int
 // determinism` pins it to 1 and 3 under the byte-identical contract.
 var AdmissionWorkers int
 
+// FleetWorkers is the per-shard execution fan-out E15 hands the fleet
+// router (fleet.Config.Workers; 0 = GOMAXPROCS). cmd/experiments exposes
+// it as -fleet-workers; `make determinism` pins it to 1 and 8 — the
+// fleet routes sequentially and merges in shard order, so the worker
+// count can never change the table (the package's determinism contract).
+var FleetWorkers int
+
 // Per-experiment base seeds for RunGrid (trial seed = base ^ trialIndex).
 const (
 	seedE1  int64 = 0xAB1<<8 | 0xE1
@@ -118,6 +127,7 @@ const (
 	seedE12 int64 = 0xAB1<<8 | 0x12
 	seedE13 int64 = 0xAB1<<8 | 0x13
 	seedE14 int64 = 0xAB1<<8 | 0x14
+	seedE15 int64 = 0xAB1<<8 | 0x15
 )
 
 // E1 measures DC height against the best simple lower bound on random
@@ -1037,6 +1047,95 @@ func E14(w io.Writer) error {
 			stats.Summarize(waitU).Mean, stats.Summarize(waitR).Mean,
 			stats.Summarize(rejrate).Mean, stats.Summarize(shdrate).Mean,
 			peakU, peakB)
+	}
+	t.Render(w)
+	return nil
+}
+
+// E15 compares the fleet's three routing policies on identical churn
+// streams offered to an 8-shard fleet at per-shard loads from stable to
+// saturated, every shard running the compaction scheduler behind a
+// shed-oldest admission gate. Round-robin ignores load, so fragmentation
+// noise piles waiting tasks onto unlucky shards; least-loaded and
+// power-of-two route around them. The table reports, per route, the mean
+// wait of the admitted population, the fraction of traffic refused
+// (rejected + shed, asserted to conserve task counts per trial), and the
+// per-shard admitted-count imbalance (max-min)/mean — the spread the
+// load-aware routes exist to close.
+func E15(w io.Writer) error {
+	const (
+		K      = 16
+		shards = 8
+		n      = 6000
+		bound  = 32
+		chunk  = 128
+	)
+	loads := []float64{0.60, 0.75, 0.85, 0.90, 0.95}
+	routes := [3]fleet.Route{fleet.RouteRR, fleet.RouteLeast, fleet.RouteP2C}
+	type res struct {
+		wait [3]float64
+		refu [3]float64 // refused fraction: (rejected + shed) / n
+		imb  [3]float64
+	}
+	rows, err := RunGrid(len(loads), seeds, seedE15, func(t Trial, rng *rand.Rand) (res, error) {
+		load := loads[t.Row]
+		// One stream against a K-column shard at load*shards offers `load`
+		// per shard fleet-wide while each task still fits one device.
+		tasks, err := workload.Churn(rng, n, K, load*shards, 0.4)
+		if err != nil {
+			return res{}, err
+		}
+		var r res
+		for i, route := range routes {
+			st, err := fleet.RunChurn(tasks, fleet.Config{
+				Shards:    shards,
+				Columns:   K,
+				Policy:    fpga.ReclaimCompact,
+				Admission: fpga.AdmissionConfig{Policy: fpga.AdmitShed, MaxBacklog: bound},
+				Route:     route,
+				Seed:      t.Seed,
+				Workers:   FleetWorkers,
+			}, chunk)
+			if err != nil {
+				return res{}, err
+			}
+			if st.Admitted+st.Rejected+st.Shed != n {
+				return res{}, fmt.Errorf("E15 load=%g %v: %d admitted + %d rejected + %d shed != %d tasks",
+					load, route, st.Admitted, st.Rejected, st.Shed, n)
+			}
+			if st.MaxBacklog > bound {
+				return res{}, fmt.Errorf("E15 load=%g %v: backlog peaked at %d, bound %d",
+					load, route, st.MaxBacklog, bound)
+			}
+			r.wait[i] = st.MeanWait
+			r.refu[i] = float64(st.Rejected+st.Shed) / n
+			minA, maxA := st.PerShard[0].Admitted, st.PerShard[0].Admitted
+			for _, ps := range st.PerShard[1:] {
+				minA = min(minA, ps.Admitted)
+				maxA = max(maxA, ps.Admitted)
+			}
+			if st.Admitted > 0 {
+				r.imb[i] = float64(maxA-minA) * shards / float64(st.Admitted)
+			}
+		}
+		return r, nil
+	})
+	if err != nil {
+		return err
+	}
+	t := &stats.Table{Header: []string{"load", "wait rr", "wait least", "wait p2c",
+		"refuse rr", "refuse least", "refuse p2c", "imb rr", "imb least", "imb p2c"}}
+	for i, load := range loads {
+		var w0, w1, w2, f0, f1, f2, i0, i1, i2 []float64
+		for _, r := range rows[i] {
+			w0, w1, w2 = append(w0, r.wait[0]), append(w1, r.wait[1]), append(w2, r.wait[2])
+			f0, f1, f2 = append(f0, r.refu[0]), append(f1, r.refu[1]), append(f2, r.refu[2])
+			i0, i1, i2 = append(i0, r.imb[0]), append(i1, r.imb[1]), append(i2, r.imb[2])
+		}
+		t.Add(load,
+			stats.Summarize(w0).Mean, stats.Summarize(w1).Mean, stats.Summarize(w2).Mean,
+			stats.Summarize(f0).Mean, stats.Summarize(f1).Mean, stats.Summarize(f2).Mean,
+			stats.Summarize(i0).Mean, stats.Summarize(i1).Mean, stats.Summarize(i2).Mean)
 	}
 	t.Render(w)
 	return nil

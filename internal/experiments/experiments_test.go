@@ -18,8 +18,8 @@ func TestAllHaveUniqueIDsAndTitles(t *testing.T) {
 		}
 		seen[e.ID] = true
 	}
-	if len(seen) != 14 {
-		t.Fatalf("expected 14 experiments, got %d", len(seen))
+	if len(seen) != 15 {
+		t.Fatalf("expected 15 experiments, got %d", len(seen))
 	}
 }
 
@@ -79,8 +79,9 @@ func TestSmallExperimentsRun(t *testing.T) {
 	// E13 is included: its per-trial assertions (compaction never worse
 	// than no-reclaim, no-reclaim reclaims nothing) must hold on the exact
 	// grid the table publishes. E14 likewise: its backlog-bound and
-	// admission-conservation assertions run on the published grid.
-	for _, id := range []string{"E3", "E5", "E8", "E10", "E13", "E14"} {
+	// admission-conservation assertions run on the published grid, as do
+	// E15's fleet-wide conservation and backlog-bound assertions.
+	for _, id := range []string{"E3", "E5", "E8", "E10", "E13", "E14", "E15"} {
 		id := id
 		t.Run(id, func(t *testing.T) {
 			runExperiment(t, id)

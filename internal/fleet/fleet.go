@@ -1,0 +1,415 @@
+// Package fleet routes a stream of task submissions across N independent
+// OnlineScheduler shards — the system shape of the paper's §1 OS
+// scenario at rack scale, where one placement service fronts many
+// reconfigurable devices.
+//
+// Determinism contract: every routing decision is made in a single
+// sequential pass over the batch, before any shard work runs. Round-robin
+// advances a cursor; least-loaded compares deterministic scores (the
+// shard's committed column-time as of the last batch barrier plus a
+// cols×duration estimate for everything already routed this batch, ties
+// to the lowest shard index); power-of-two-choices draws its two
+// candidates from a seeded rng consumed in spec order. Only after the
+// whole batch is routed do the per-shard SubmitBatch calls run — on up to
+// Workers goroutines, but over disjoint shards, joined at a barrier — and
+// placements and stats are always merged in shard-index order. Results
+// are therefore a pure function of (Config minus Workers, submission
+// sequence): byte-identical for any worker count, which `make
+// determinism` pins by diffing fleetload output at -fleet-workers 1 vs 8.
+package fleet
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime"
+	"sync"
+
+	"strippack/internal/fpga"
+	"strippack/internal/workload"
+)
+
+// Route selects how the fleet picks a shard for each submission.
+type Route int
+
+const (
+	// RouteRR assigns submissions round-robin, ignoring load.
+	RouteRR Route = iota
+	// RouteLeast assigns each submission to the shard with the least
+	// committed column-time (ties to the lowest shard index).
+	RouteLeast
+	// RouteP2C samples two shards uniformly from a seeded rng and takes
+	// the less loaded of the two — the classic power-of-two-choices
+	// balancer, near-least-loaded quality at O(1) probe cost.
+	RouteP2C
+)
+
+func (r Route) String() string {
+	switch r {
+	case RouteRR:
+		return "rr"
+	case RouteLeast:
+		return "least"
+	case RouteP2C:
+		return "p2c"
+	}
+	return fmt.Sprintf("Route(%d)", int(r))
+}
+
+// ParseRoute maps the cmd-line names rr/least/p2c to a Route.
+func ParseRoute(s string) (Route, error) {
+	switch s {
+	case "rr", "round-robin":
+		return RouteRR, nil
+	case "least", "least-loaded":
+		return RouteLeast, nil
+	case "p2c", "power-of-two":
+		return RouteP2C, nil
+	}
+	return 0, fmt.Errorf("fleet: unknown route %q (want rr, least or p2c)", s)
+}
+
+// Config describes a fleet. Columns and ReconfigDelay describe each
+// shard's device; Admission applies to every shard unless ShardAdmission
+// overrides it per shard. Seed feeds the power-of-two-choices rng (unused
+// by the other routes). Workers bounds the goroutines running per-shard
+// work between routing barriers; 0 means GOMAXPROCS. Workers never
+// affects results — see the package determinism contract.
+type Config struct {
+	Shards         int
+	Columns        int
+	ReconfigDelay  float64
+	Policy         fpga.Policy
+	Admission      fpga.AdmissionConfig
+	ShardAdmission []fpga.AdmissionConfig // optional, len == Shards when set
+	Route          Route
+	Seed           int64
+	Workers        int
+}
+
+// Placement records where the fleet put one task.
+type Placement struct {
+	Shard int
+	Task  fpga.Task
+}
+
+// Fleet is a router over independent scheduler shards. Methods are not
+// safe for concurrent use; the internal worker pool is invisible to
+// callers.
+type Fleet struct {
+	cfg    Config
+	shards []*fpga.OnlineScheduler
+	rr     int
+	rng    *rand.Rand
+	score  []float64         // committed col-time per shard: barrier base + in-batch estimate
+	subs   [][]fpga.TaskSpec // per-shard sub-batch scratch
+}
+
+// New builds a fleet of cfg.Shards schedulers over cfg.Columns-column
+// devices. Each shard gets its own Device value, so shards never share
+// mutable state.
+func New(cfg Config) (*Fleet, error) {
+	if cfg.Shards < 1 {
+		return nil, fmt.Errorf("fleet: need at least 1 shard, got %d", cfg.Shards)
+	}
+	if cfg.Columns < 1 {
+		return nil, fmt.Errorf("fleet: need at least 1 column per shard, got %d", cfg.Columns)
+	}
+	if cfg.ShardAdmission != nil && len(cfg.ShardAdmission) != cfg.Shards {
+		return nil, fmt.Errorf("fleet: ShardAdmission has %d entries for %d shards", len(cfg.ShardAdmission), cfg.Shards)
+	}
+	if cfg.Workers < 0 {
+		return nil, fmt.Errorf("fleet: negative worker count %d", cfg.Workers)
+	}
+	if cfg.Workers == 0 {
+		cfg.Workers = runtime.GOMAXPROCS(0)
+	}
+	f := &Fleet{
+		cfg:    cfg,
+		shards: make([]*fpga.OnlineScheduler, cfg.Shards),
+		score:  make([]float64, cfg.Shards),
+		subs:   make([][]fpga.TaskSpec, cfg.Shards),
+	}
+	for i := range f.shards {
+		ac := cfg.Admission
+		if cfg.ShardAdmission != nil {
+			ac = cfg.ShardAdmission[i]
+		}
+		o, err := fpga.NewOnlineSchedulerAdmission(
+			&fpga.Device{Columns: cfg.Columns, ReconfigDelay: cfg.ReconfigDelay},
+			cfg.Policy, ac)
+		if err != nil {
+			return nil, fmt.Errorf("fleet: shard %d: %w", i, err)
+		}
+		f.shards[i] = o
+	}
+	if cfg.Route == RouteP2C {
+		f.rng = rand.New(rand.NewSource(cfg.Seed))
+	}
+	return f, nil
+}
+
+// Shards returns the shard count.
+func (f *Fleet) Shards() int { return len(f.shards) }
+
+// Shard exposes one underlying scheduler — for snapshotting, equivalence
+// tests and per-shard inspection. Submitting to it directly bypasses the
+// router and is the caller's responsibility.
+func (f *Fleet) Shard(i int) *fpga.OnlineScheduler { return f.shards[i] }
+
+// route picks the shard for one spec and charges the routing estimate.
+func (f *Fleet) route(sp *fpga.TaskSpec) int {
+	var s int
+	switch f.cfg.Route {
+	case RouteRR:
+		s = f.rr
+		f.rr++
+		if f.rr == len(f.shards) {
+			f.rr = 0
+		}
+	case RouteLeast:
+		s = 0
+		for i := 1; i < len(f.score); i++ {
+			if f.score[i] < f.score[s] {
+				s = i
+			}
+		}
+	case RouteP2C:
+		a := f.rng.Intn(len(f.shards))
+		b := f.rng.Intn(len(f.shards))
+		s = a
+		if f.score[b] < f.score[a] || (f.score[b] == f.score[a] && b < a) {
+			s = b
+		}
+	}
+	f.score[s] += float64(sp.Cols) * sp.Duration
+	return s
+}
+
+// SubmitBatch routes the batch (sequentially, in input order), submits
+// each shard's sub-batch through the shard's own SubmitBatch (in parallel
+// across the worker pool), and returns the placements merged in
+// shard-index order, each shard's in its own (release, index) submission
+// order. Submissions refused by a shard's admission control are skipped,
+// exactly as OnlineScheduler.SubmitBatch skips them. A hard error from
+// any shard aborts with the lowest-index shard's error; placements
+// already made on other shards stay, so a fleet that returned a hard
+// error should be discarded.
+func (f *Fleet) SubmitBatch(specs []fpga.TaskSpec) ([]Placement, error) {
+	if len(specs) == 0 {
+		return nil, nil
+	}
+	// Barrier refresh: every shard is quiescent here, so its committed
+	// column-time is exact; in-batch routing then works from this base
+	// plus the cols×duration estimates route() accrues.
+	if f.cfg.Route != RouteRR {
+		for i, o := range f.shards {
+			f.score[i] = o.Load().CommittedColTime
+		}
+	}
+	for i := range f.subs {
+		f.subs[i] = f.subs[i][:0]
+	}
+	for i := range specs {
+		s := f.route(&specs[i])
+		f.subs[s] = append(f.subs[s], specs[i])
+	}
+	placedBy := make([][]fpga.Task, len(f.shards))
+	err := f.runShards(func(i int) error {
+		if len(f.subs[i]) == 0 {
+			return nil
+		}
+		tasks, err := f.shards[i].SubmitBatch(f.subs[i])
+		placedBy[i] = tasks
+		if err != nil {
+			return fmt.Errorf("fleet: shard %d: %w", i, err)
+		}
+		return nil
+	})
+	var placed []Placement
+	for i, tasks := range placedBy {
+		for _, t := range tasks {
+			placed = append(placed, Placement{Shard: i, Task: t})
+		}
+	}
+	return placed, err
+}
+
+// Drain processes every registered completion on every shard.
+func (f *Fleet) Drain() error {
+	return f.runShards(func(i int) error {
+		if err := f.shards[i].Drain(); err != nil {
+			return fmt.Errorf("fleet: shard %d: %w", i, err)
+		}
+		return nil
+	})
+}
+
+// runShards runs fn(i) for every shard on up to cfg.Workers goroutines
+// and returns the error of the lowest-index failing shard — the same
+// min-index rule the experiment runner uses, so the surfaced error never
+// depends on goroutine interleaving.
+func (f *Fleet) runShards(fn func(i int) error) error {
+	n := len(f.shards)
+	workers := f.cfg.Workers
+	if workers > n {
+		workers = n
+	}
+	errs := make([]error, n)
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			errs[i] = fn(i)
+		}
+	} else {
+		var wg sync.WaitGroup
+		next := make(chan int)
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := range next {
+					errs[i] = fn(i)
+				}
+			}()
+		}
+		for i := 0; i < n; i++ {
+			next <- i
+		}
+		close(next)
+		wg.Wait()
+	}
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Stats aggregates a fleet churn run. PerShard is indexed by shard.
+type Stats struct {
+	Shards int
+	// Tasks is the total number of submissions offered to the fleet.
+	Tasks int
+	// Admitted counts tasks that ran to completion, fleet-wide; Rejected
+	// and Shed are the admission-control counterparts.
+	// Admitted + Rejected + Shed == Tasks.
+	Admitted, Rejected, Shed int
+	// Makespan is the latest completion across shards; Utilization is
+	// total busy column-time / (Shards × Columns × Makespan).
+	Makespan, Utilization float64
+	// MeanWait is the mean of Start - Release over all admitted tasks.
+	MeanWait float64
+	// MaxBacklog is the largest per-shard peak backlog.
+	MaxBacklog int
+	PerShard   []fpga.ChurnStats
+}
+
+// Finish drains every shard, re-verifies each shard's schedule through
+// the discrete-event simulator (so a routing or batching bug that
+// double-books a column fails loudly), and aggregates the per-shard
+// stats in shard-index order.
+func (f *Fleet) Finish() (*Stats, error) {
+	if err := f.Drain(); err != nil {
+		return nil, err
+	}
+	per := make([]fpga.ChurnStats, len(f.shards))
+	err := f.runShards(func(i int) error {
+		o := f.shards[i]
+		sched := o.Schedule()
+		sim, simErr := sched.Simulate()
+		if simErr != nil {
+			return fmt.Errorf("fleet: shard %d schedule failed simulation: %w", i, simErr)
+		}
+		ld := o.Load()
+		reclaimed, passes, moved := o.ReclaimStats()
+		st := fpga.ChurnStats{
+			Makespan:            sim.Makespan,
+			Utilization:         sim.Utilization,
+			ReclaimedColumnTime: reclaimed,
+			CompactPasses:       passes,
+			TasksMoved:          moved,
+			Admitted:            len(sched.Tasks),
+			Rejected:            ld.Rejected,
+			Shed:                ld.Shed,
+			MaxBacklog:          ld.MaxWaiting,
+		}
+		if len(sched.Tasks) > 0 {
+			var wait float64
+			for _, t := range sched.Tasks {
+				wait += t.Start - t.Release
+			}
+			st.MeanWait = wait / float64(len(sched.Tasks))
+		}
+		per[i] = st
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	agg := &Stats{Shards: len(f.shards), PerShard: per}
+	var busy, wait float64
+	for _, st := range per {
+		agg.Admitted += st.Admitted
+		agg.Rejected += st.Rejected
+		agg.Shed += st.Shed
+		agg.Tasks += st.Admitted + st.Rejected + st.Shed
+		if st.Makespan > agg.Makespan {
+			agg.Makespan = st.Makespan
+		}
+		if st.MaxBacklog > agg.MaxBacklog {
+			agg.MaxBacklog = st.MaxBacklog
+		}
+		busy += st.Utilization * float64(f.cfg.Columns) * st.Makespan
+		wait += st.MeanWait * float64(st.Admitted)
+	}
+	if agg.Makespan > 0 {
+		agg.Utilization = busy / (float64(f.cfg.Shards*f.cfg.Columns) * agg.Makespan)
+	}
+	if agg.Admitted > 0 {
+		agg.MeanWait = wait / float64(agg.Admitted)
+	}
+	return agg, nil
+}
+
+// Specs converts a window of a churn trace into submission specs, with
+// IDs offset by base so IDs stay unique across chunks of a stream.
+func Specs(tasks []workload.ChurnTask, base int) []fpga.TaskSpec {
+	specs := make([]fpga.TaskSpec, len(tasks))
+	for i, ct := range tasks {
+		specs[i] = fpga.TaskSpec{
+			ID:       base + i,
+			Cols:     ct.Cols,
+			Duration: ct.Duration,
+			Actual:   ct.Lifetime,
+			Release:  ct.Release,
+		}
+	}
+	return specs
+}
+
+// RunChurn replays a churn trace through a fresh fleet in batches of
+// `chunk` tasks, then finishes and aggregates — the fleet counterpart of
+// fpga.RunChurn, and the driver the E15 experiment table uses. Results
+// are a pure function of (cfg minus Workers, tasks, chunk).
+func RunChurn(tasks []workload.ChurnTask, cfg Config, chunk int) (*Stats, error) {
+	if len(tasks) == 0 {
+		return nil, fmt.Errorf("fleet: empty churn workload")
+	}
+	if chunk < 1 {
+		return nil, fmt.Errorf("fleet: chunk must be >= 1, got %d", chunk)
+	}
+	f, err := New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	for base := 0; base < len(tasks); base += chunk {
+		end := base + chunk
+		if end > len(tasks) {
+			end = len(tasks)
+		}
+		if _, err := f.SubmitBatch(Specs(tasks[base:end], base)); err != nil {
+			return nil, err
+		}
+	}
+	return f.Finish()
+}

@@ -39,6 +39,17 @@ type horizonTree struct {
 
 	runs []hrun // bestWindow scratch
 	cand []int
+
+	// Batched-submission run cache (see bestWindowCached): the maximal-run
+	// decomposition of horizon[0:n), maintained incrementally across the
+	// assigns of a SubmitBatch instead of re-extracted from the tree per
+	// submission. Invalidated by free and fill, rebuilt lazily. The
+	// tree-walking bestWindow below never reads it, so the sequential
+	// Submit path stays an independent reference for the equivalence
+	// property tests.
+	cruns  []hrun
+	cvalid bool
+	deq    []int32 // sliding-window-max scratch (run indices)
 }
 
 // hrun is a maximal constant run [start, end) of the horizon.
@@ -77,6 +88,9 @@ func (t *horizonTree) push(i int) {
 // assign sets horizon[l:r) = v.
 func (t *horizonTree) assign(l, r int, v float64) {
 	t.doAssign(1, 0, t.size, l, r, v)
+	if t.cvalid {
+		t.crunsAssign(l, r, v)
+	}
 }
 
 func (t *horizonTree) doAssign(i, lo, hi, l, r int, v float64) {
@@ -110,6 +124,9 @@ func (t *horizonTree) free(l, r int, from, to float64) int {
 	if from == to {
 		return 0
 	}
+	// free can split runs in ways that depend on which columns still hold
+	// `from`; rebuilding the batch cache lazily is simpler than patching it.
+	t.cvalid = false
 	return t.doFree(1, 0, t.size, l, r, from, to)
 }
 
@@ -141,6 +158,7 @@ func (t *horizonTree) doFree(i, lo, hi, l, r int, from, to float64) int {
 // re-placement policy (ROADMAP) would need exactly this bulk primitive.
 // Columns beyond len(vals) reset to 0, matching the initial state.
 func (t *horizonTree) fill(vals []float64) {
+	t.cvalid = false
 	for i := 0; i < t.size; i++ {
 		v := 0.0
 		if i < len(vals) {
@@ -229,6 +247,152 @@ func (t *horizonTree) values(out []float64) []float64 {
 		}
 	}
 	return out
+}
+
+// crunsAssign splices horizon[l:r) = v into the cached run decomposition,
+// merging with equal-valued neighbors so the cache stays the maximal-run
+// form appendRuns would extract — bestWindowCached's candidate set (and
+// hence its placements) must match the tree walk exactly.
+func (t *horizonTree) crunsAssign(l, r int, v float64) {
+	runs := t.cruns
+	// First run overlapping [l, r): ends are strictly increasing, so binary
+	// search the first with end > l.
+	lo, hi := 0, len(runs)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if runs[mid].end > l {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	i := lo
+	j := i
+	for j < len(runs) && runs[j].start < r {
+		j++
+	}
+	// Replacement pieces: left remainder, the assigned run, right remainder —
+	// then absorb equal-valued neighbors on both sides.
+	var repl [3]hrun
+	nr := 0
+	mid := hrun{start: l, end: r, val: v}
+	if i < j && runs[i].start < l {
+		if runs[i].val == v {
+			mid.start = runs[i].start
+		} else {
+			repl[nr] = hrun{start: runs[i].start, end: l, val: runs[i].val}
+			nr++
+		}
+	}
+	if i > 0 && runs[i-1].val == v && runs[i-1].end == mid.start {
+		mid.start = runs[i-1].start
+		i--
+	}
+	var right hrun
+	hasRight := false
+	if j > i && runs[j-1].end > r {
+		if runs[j-1].val == v {
+			mid.end = runs[j-1].end
+		} else {
+			right = hrun{start: r, end: runs[j-1].end, val: runs[j-1].val}
+			hasRight = true
+		}
+	}
+	if !hasRight && j < len(runs) && runs[j].val == v && runs[j].start == mid.end {
+		mid.end = runs[j].end
+		j++
+	}
+	repl[nr] = mid
+	nr++
+	if hasRight {
+		repl[nr] = right
+		nr++
+	}
+	t.cruns = slices.Replace(runs, i, j, repl[:nr]...)
+}
+
+// bestWindowCached is bestWindow on the cached run decomposition: the same
+// candidate columns evaluated in the same order with the same window maxima
+// and the same Eps tie rule, so its placements are bit-identical to the
+// tree walk — but without touching the tree. Candidates come pre-sorted
+// from a two-stream merge (run starts, and run starts minus the width, are
+// each already ascending) instead of a sort, and window maxima come from a
+// monotonic-deque sliding maximum over the runs instead of per-candidate
+// O(log K) range queries, so a whole batch submission costs O(S) per task
+// with S the current run count.
+func (t *horizonTree) bestWindowCached(width int, floor float64) (start float64, col int) {
+	if !t.cvalid {
+		t.runs = t.runs[:0]
+		t.appendRuns(1, 0, t.size)
+		t.cruns = append(t.cruns[:0], t.runs...)
+		t.cvalid = true
+	}
+	runs := t.cruns
+	last := t.n - width
+	// Sliding-window maximum over the candidate columns, which only move
+	// right: deq holds run indices with strictly decreasing values; run
+	// ends are strictly increasing, so expiring the front as the window
+	// passes a run is sound.
+	deq := t.deq[:0]
+	head, ri := 0, 0
+	bestCol := -1
+	evaluate := func(c int) {
+		for ri < len(runs) && runs[ri].start < c+width {
+			v := runs[ri].val
+			for len(deq) > head && runs[deq[len(deq)-1]].val <= v {
+				deq = deq[:len(deq)-1]
+			}
+			deq = append(deq, int32(ri))
+			ri++
+		}
+		for runs[deq[head]].end <= c {
+			head++
+		}
+		v := runs[deq[head]].val
+		if v < floor {
+			v = floor
+		}
+		if bestCol == -1 || v < start-geom.Eps {
+			start, bestCol = v, c
+		}
+	}
+	// aEnd clips run starts to <= last; b starts at the first run whose
+	// start-width candidate is >= 0. Both streams ascend, so a plain merge
+	// (with dedup against the previous emission) yields exactly the sorted,
+	// deduplicated candidate set bestWindow builds and sorts.
+	aEnd := len(runs)
+	for aEnd > 0 && runs[aEnd-1].start > last {
+		aEnd--
+	}
+	b := 0
+	for b < len(runs) && runs[b].start < width {
+		b++
+	}
+	a, prev := 0, -1
+	for a < aEnd || b < len(runs) {
+		var c int
+		switch {
+		case a >= aEnd:
+			c = runs[b].start - width
+			b++
+		case b >= len(runs) || runs[a].start <= runs[b].start-width:
+			c = runs[a].start
+			a++
+		default:
+			c = runs[b].start - width
+			b++
+		}
+		if c == prev {
+			continue
+		}
+		prev = c
+		evaluate(c)
+	}
+	if last != prev {
+		evaluate(last)
+	}
+	t.deq = deq[:0]
+	return start, bestCol
 }
 
 // bestWindow returns the leftmost width-column window minimizing

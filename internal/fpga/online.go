@@ -135,6 +135,8 @@ type OnlineScheduler struct {
 	reclaimedColTime float64
 	compactPasses    int
 	tasksMoved       int
+
+	batchOrder []int32 // SubmitBatch sort scratch
 }
 
 // NewOnlineScheduler returns a scheduler for the device with the NoReclaim
@@ -184,7 +186,7 @@ func NewOnlineSchedulerAdmission(d *Device, p Policy, ac AdmissionConfig) (*Onli
 // ErrBacklogFull (and ErrRejected); AdmitShed instead evicts the oldest
 // waiting task to admit the new one.
 func (o *OnlineScheduler) Submit(id int, name string, cols int, duration, release float64) (Task, error) {
-	return o.submit(id, name, cols, duration, math.NaN(), release)
+	return o.submit(id, name, cols, duration, math.NaN(), release, nil)
 }
 
 // SubmitWithLifetime places a task by its declared duration and registers
@@ -203,10 +205,19 @@ func (o *OnlineScheduler) SubmitWithLifetime(id int, name string, cols int, dura
 	if actual > duration {
 		return Task{}, fmt.Errorf("%w: task %d actual lifetime %g exceeds declared duration %g", ErrInvalidTask, id, actual, duration)
 	}
-	return o.submit(id, name, cols, duration, actual, release)
+	return o.submit(id, name, cols, duration, actual, release, nil)
 }
 
-func (o *OnlineScheduler) submit(id int, name string, cols int, duration, actual, release float64) (Task, error) {
+// batchState carries the per-batch bookkeeping of SubmitBatch through the
+// shared submit path: a non-nil pointer switches the window search to the
+// cached-run fast path and lets consecutive submissions at the same floor
+// skip the event-queue advance (see batch.go for the equivalence argument).
+type batchState struct {
+	floor    float64
+	advanced bool
+}
+
+func (o *OnlineScheduler) submit(id int, name string, cols int, duration, actual, release float64, bs *batchState) (Task, error) {
 	if cols < 1 || cols > o.device.Columns {
 		return Task{}, fmt.Errorf("%w: task %d needs %d of %d columns", ErrInvalidTask, id, cols, o.device.Columns)
 	}
@@ -230,10 +241,23 @@ func (o *OnlineScheduler) submit(id int, name string, cols int, duration, actual
 	if floor < o.now {
 		floor = o.now
 	}
-	if err := o.AdvanceTo(floor); err != nil {
-		return Task{}, err
+	if bs == nil || !bs.advanced || floor != bs.floor {
+		if err := o.AdvanceTo(floor); err != nil {
+			return Task{}, err
+		}
+		if bs != nil {
+			bs.floor, bs.advanced = floor, true
+		}
+	} else if len(o.startQ) > 0 && o.startQ[0].key <= o.now+geom.Eps {
+		// Same floor as the previous batch submission: no completion can be
+		// due (every compQ key pushed since the last advance exceeds the
+		// clock), so AdvanceTo would only promote — and only a compaction
+		// slide landing exactly at the clock can have queued one. Running
+		// just that promotion keeps the waiting count (and therefore every
+		// admission decision) identical to the sequential path.
+		o.promote(o.now)
 	}
-	bestStart, bestCol := o.horizon.bestWindow(cols, floor)
+	bestStart, bestCol := o.bestWindow(cols, floor, bs != nil)
 	// Admission control: bestStart (pre-delay) is when occupancy would
 	// begin. A task that cannot begin now joins the backlog — refuse or
 	// make room per the admission policy. The clock advance above is not
@@ -250,7 +274,7 @@ func (o *OnlineScheduler) submit(id int, name string, cols int, duration, actual
 		// the placement horizon, so re-evaluate the placement; under
 		// ReclaimCompact the placement tree is untouched by design.
 		if o.policy != ReclaimCompact {
-			bestStart, bestCol = o.horizon.bestWindow(cols, floor)
+			bestStart, bestCol = o.bestWindow(cols, floor, bs != nil)
 		}
 	}
 	occupancy := bestStart // when the reconfiguration for this task begins
@@ -288,6 +312,17 @@ func (o *OnlineScheduler) submit(id int, name string, cols int, duration, actual
 		o.compQ.push(t.Start+actual, idx)
 	}
 	return t, nil
+}
+
+// bestWindow dispatches the placement search: sequential submissions walk
+// the segment tree (the reference implementation), batched ones use the
+// incrementally maintained run cache. Both return bit-identical placements
+// — the contract the batch property tests enforce.
+func (o *OnlineScheduler) bestWindow(cols int, floor float64, batched bool) (float64, int) {
+	if batched {
+		return o.horizon.bestWindowCached(cols, floor)
+	}
+	return o.horizon.bestWindow(cols, floor)
 }
 
 // markStarted marks a task as started: its placement becomes irrevocable
@@ -375,8 +410,10 @@ func (o *OnlineScheduler) shedTask(idx int) {
 }
 
 // ShedIDs returns the IDs evicted by the AdmitShed policy so far, in
-// eviction order. The slice is owned by the scheduler; do not mutate.
-func (o *OnlineScheduler) ShedIDs() []int { return o.shedIDs }
+// eviction order. The returned slice is a copy: handing out the internal
+// slice would let a caller overwrite eviction history (or have it mutated
+// under them by a later shed's append), corrupting snapshots and stats.
+func (o *OnlineScheduler) ShedIDs() []int { return slices.Clone(o.shedIDs) }
 
 // Complete records that the task actually finished at time `at`, with
 // Start < at <= declared End and at no earlier than the scheduler clock
@@ -516,6 +553,15 @@ func (o *OnlineScheduler) Schedule() *Schedule {
 // tasks complete early.
 func (o *OnlineScheduler) Makespan() float64 {
 	return o.horizon.maxAll()
+}
+
+// ReclaimStats reports the cumulative reclamation counters: column-time
+// handed back to the pool by early completions, compaction passes that
+// moved at least one task, and individual task slides. All zero under
+// NoReclaim; the last two zero unless the policy is ReclaimCompact. The
+// external churn drivers (internal/fleet) aggregate these per shard.
+func (o *OnlineScheduler) ReclaimStats() (reclaimedColTime float64, compactPasses, tasksMoved int) {
+	return o.reclaimedColTime, o.compactPasses, o.tasksMoved
 }
 
 // taskHeap is a binary min-heap of (key, task index) pairs ordered by key,

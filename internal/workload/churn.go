@@ -83,26 +83,13 @@ func Burst(rng *rand.Rand, n, K int, baseLoad, burstLoad, shrink float64, period
 	}), nil
 }
 
-// churn samples the trace; loadAt gives the offered load in effect for the
-// interarrival gap preceding task i.
+// churn samples the trace by draining the stepping generator (see
+// stream.go), so the materializing and streaming forms emit identical
+// sequences by construction; loadAt gives the offered load in effect for
+// the interarrival gap preceding task i.
 func churn(rng *rand.Rand, n, K int, shrink float64, loadAt func(i int) float64) []ChurnTask {
-	maxCols := K / 2
-	if maxCols < 1 {
-		maxCols = 1
-	}
+	s := newStream(rng, n, K, shrink, loadAt)
 	tasks := make([]ChurnTask, n)
-	t := 0.0
-	for i := range tasks {
-		if i > 0 {
-			t += rng.ExpFloat64() * churnInterarrival(K, maxCols, loadAt(i))
-		}
-		dur := 0.5 + rng.Float64()
-		tasks[i] = ChurnTask{
-			Cols:     1 + rng.Intn(maxCols),
-			Release:  t,
-			Duration: dur,
-			Lifetime: dur * (shrink + (1-shrink)*rng.Float64()),
-		}
-	}
+	s.NextChunk(tasks)
 	return tasks
 }
