@@ -18,12 +18,14 @@ test:
 vet:
 	$(GO) vet ./...
 
-# The online scheduler, fault harness, fleet router and experiment
-# drivers under the race detector. The experiments tests exercise
-# E13/E14/E15 with their default fan-outs and the fleet tests sweep
-# worker counts, so the shard pool runs genuinely concurrent under -race.
+# The online scheduler, fault harness, fleet router, experiment drivers
+# and the release package (its Solver pool is hit concurrently from
+# RunGrid workers; TestSolverConcurrent fans out goroutines) under the
+# race detector. The experiments tests exercise E13/E14/E15 with their
+# default fan-outs and the fleet tests sweep worker counts, so the shard
+# pool runs genuinely concurrent under -race.
 race:
-	$(GO) test -race ./internal/fpga ./internal/faultinject ./internal/fleet ./internal/experiments
+	$(GO) test -race ./internal/fpga ./internal/faultinject ./internal/fleet ./internal/experiments ./internal/core/release
 
 ci: build vet test race determinism
 
@@ -40,19 +42,23 @@ bench-record:
 	$(GO) run ./cmd/benchjson -out $(BENCH_OUT) -bench . -benchtime 2s
 
 # Property-based fuzzing: the skyline hot path, the online scheduler's
-# submit/complete state machine, snapshot/restore replay fidelity, and
-# the batched-submission equivalence contract.
-# (go test accepts one -fuzz pattern per invocation, hence four runs.)
+# submit/complete state machine, snapshot/restore replay fidelity, the
+# batched-submission equivalence contract, and the column pool's
+# pooled-vs-fresh height equivalence across interleaved width sets.
+# (go test accepts one -fuzz pattern per invocation, hence five runs.)
 fuzz:
 	$(GO) test ./internal/geom -fuzz FuzzSkylinePlace -fuzztime 30s
 	$(GO) test ./internal/fpga -fuzz FuzzSubmitComplete -fuzztime 30s
 	$(GO) test ./internal/fpga -fuzz FuzzSnapshotRestore -fuzztime 30s
 	$(GO) test ./internal/fpga -fuzz FuzzSubmitBatch -fuzztime 30s
+	$(GO) test ./internal/core/release -fuzz FuzzSolverPool -fuzztime 30s
 
 # The parallel engines' determinism contracts: experiment tables must be
 # byte-identical regardless of the trial-pool width (-parallel), the DC
 # recursion's worker count (-dc-workers), the configuration-LP pricing
-# fan-out (-cg-workers), E13's per-policy simulation fan-out
+# fan-out (-cg-workers), the cross-solve column pool (-cg-pool on vs off
+# — a pooled solve still reaches the LP optimum, so the fixed-precision
+# tables cannot move), E13's per-policy simulation fan-out
 # (-churn-workers), E14's per-admission-policy fan-out (-admission) and
 # E15's fleet shard-execution fan-out (-fleet-workers); and the fleet
 # load harness must stream 1M tasks across 64 shards byte-identically at
@@ -65,8 +71,10 @@ determinism:
 	$$dir/experiments -parallel 1 -dc-workers 1 -cg-workers 1 -churn-workers 1 -admission 1 -fleet-workers 1 > $$dir/tables-serial.txt && \
 	$$dir/experiments -parallel 8 -dc-workers 8 -cg-workers 8 -churn-workers 3 -admission 3 -fleet-workers 8 > $$dir/tables-par.txt && \
 	$$dir/experiments -parallel 1 -dc-workers 8 -cg-workers 8 -churn-workers 3 -admission 3 -fleet-workers 8 > $$dir/tables-dcpar.txt && \
+	$$dir/experiments -parallel 8 -dc-workers 8 -cg-workers 8 -churn-workers 3 -admission 3 -fleet-workers 8 -cg-pool=false > $$dir/tables-poolless.txt && \
 	cmp $$dir/tables-serial.txt $$dir/tables-par.txt && \
 	cmp $$dir/tables-serial.txt $$dir/tables-dcpar.txt && \
+	cmp $$dir/tables-serial.txt $$dir/tables-poolless.txt && \
 	$(GO) build -o $$dir/fleetload ./cmd/fleetload && \
 	$$dir/fleetload -n 1000000 -shards 64 -route rr -fleet-workers 1 > $$dir/fleet-rr-serial.txt && \
 	$$dir/fleetload -n 1000000 -shards 64 -route rr -fleet-workers 8 > $$dir/fleet-rr-par.txt && \

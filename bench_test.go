@@ -214,6 +214,133 @@ func BenchmarkE7CG(b *testing.B) {
 	}
 }
 
+// BenchmarkE7CGPooled solves the identical five-instance grid as
+// BenchmarkE7CG through one long-lived release.Solver whose pools were
+// warmed by a single untimed pass, so the pair measures exactly what the
+// cross-solve column pool buys on grid-shaped repeated solves.
+func BenchmarkE7CGPooled(b *testing.B) {
+	const seedE7 = 0xAB1<<8 | 0xE7
+	Ks := []int{2, 3, 4, 5, 6}
+	ins := make([]*Instance, len(Ks))
+	for i, K := range Ks {
+		rng := rand.New(rand.NewSource(seedE7 ^ int64(i)))
+		ins[i] = workload.FPGA(rng, 24, K, 3)
+	}
+	s := release.NewSolver(release.CGOptions{})
+	for _, in := range ins {
+		if _, _, err := s.Solve(in); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, in := range ins {
+			if _, _, err := s.Solve(in); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// boundServerStream is the repeated-request shape a long-running bound
+// service sees: eight distinct K=4 FPGA instances over one width set,
+// each requested six times, interleaved.
+func boundServerStream() []*Instance {
+	const distinct, repeats = 8, 6
+	ins := make([]*Instance, distinct)
+	for i := range ins {
+		rng := rand.New(rand.NewSource(int64(37 + i)))
+		ins[i] = workload.FPGA(rng, 24, 4, 3)
+	}
+	reqs := make([]*Instance, 0, distinct*repeats)
+	for r := 0; r < repeats; r++ {
+		reqs = append(reqs, ins...)
+	}
+	return reqs
+}
+
+// BenchmarkBoundServerFresh answers every request of the stream with a
+// from-scratch SolveCG — the pre-pool baseline a bound service would pay.
+func BenchmarkBoundServerFresh(b *testing.B) {
+	reqs := boundServerStream()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, in := range reqs {
+			if _, err := release.FractionalLowerBound(in, release.CGOptions{}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// BenchmarkBoundServerReplay serves the identical stream through a fresh
+// BoundCache per iteration: repeats hit the answer cache, and the distinct
+// instances after the first warm-start from the shared column pool.
+func BenchmarkBoundServerReplay(b *testing.B) {
+	reqs := boundServerStream()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c := release.NewBoundCache(release.CGOptions{})
+		for _, in := range reqs {
+			if _, err := c.FractionalLowerBound(in); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// benchAddColumns appends one 512-column batch to a fresh revised-simplex
+// master via the bulk AddColumns path or a loop of AddColumn calls — the
+// pool-seeding hot path, where bulk grows every arena exactly once.
+func benchAddColumns(b *testing.B, bulk bool) {
+	const m, n, nnzPer = 64, 512, 8
+	ops := make([]lp.Relation, m)
+	rhs := make([]float64, m)
+	for i := range ops {
+		ops[i] = lp.GE
+		rhs[i] = 1
+	}
+	rng := rand.New(rand.NewSource(31))
+	costs := make([]float64, n)
+	starts := make([]int32, n+1)
+	idx := make([]int32, 0, n*nnzPer)
+	val := make([]float64, 0, n*nnzPer)
+	for c := 0; c < n; c++ {
+		costs[c] = rng.Float64()
+		r := rng.Intn(m - nnzPer)
+		for k := 0; k < nnzPer; k++ {
+			idx = append(idx, int32(r+k))
+			val = append(val, 0.1+rng.Float64())
+		}
+		starts[c+1] = int32(len(idx))
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s, err := lp.NewRevised(ops, rhs)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if bulk {
+			if _, err := s.AddColumns(costs, starts, idx, val); err != nil {
+				b.Fatal(err)
+			}
+		} else {
+			for c := 0; c < n; c++ {
+				if _, err := s.AddColumn(costs[c], idx[starts[c]:starts[c+1]], val[starts[c]:starts[c+1]]); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	}
+}
+
+func BenchmarkAddColumnsBulk512(b *testing.B)   { benchAddColumns(b, true) }
+func BenchmarkAddColumnsSingle512(b *testing.B) { benchAddColumns(b, false) }
+
 func BenchmarkSimplexDense(b *testing.B) {
 	rng := rand.New(rand.NewSource(7))
 	n, m := 60, 30

@@ -12,22 +12,33 @@ import (
 // fingerprint, deduplicating the repeated configuration-LP solves the
 // experiment grids issue: an ablation that sweeps a parameter (E6's ε,
 // E8's base instance across R rows) re-solves the identical instance once
-// per grid cell without it. The cache is safe for concurrent use from
-// RunGrid workers, and because SolveCG is deterministic, memoization never
-// changes a result — only how often it is computed.
+// per grid cell without it. Misses solve through an owned Solver, so the
+// cache memoizes the *work* of column generation (the cross-solve column
+// pool, shared across distinct instances over the same width set) as well
+// as the *answers*; errors are cached alongside heights, so a failing
+// instance pays its diagnosis once. The cache is safe for concurrent use
+// from RunGrid workers, and because a pooled solve still runs column
+// generation to optimality (see Solver), memoization never changes a
+// result beyond LP round-off — only how often it is computed.
 type BoundCache struct {
-	opts CGOptions
+	solver *Solver
 
 	mu     sync.Mutex
 	bounds map[string]float64
+	errs   map[string]error
 	hits   int
 	misses int
 }
 
 // NewBoundCache returns an empty cache whose solves use the given
-// column-generation options.
+// column-generation options (set opts.DisablePool to memoize answers
+// only, reproducing the poolless reference path on every miss).
 func NewBoundCache(opts CGOptions) *BoundCache {
-	return &BoundCache{opts: opts, bounds: make(map[string]float64)}
+	return &BoundCache{
+		solver: NewSolver(opts),
+		bounds: make(map[string]float64),
+		errs:   make(map[string]error),
+	}
 }
 
 // fingerprint is the cache key: strip width, every rectangle's
@@ -55,9 +66,9 @@ func fingerprint(in *geom.Instance) string {
 	return string(b)
 }
 
-// FractionalLowerBound returns OPTf of the instance, solving via SolveCG
-// on a miss and replaying the memoized height on a hit. Errors are not
-// cached.
+// FractionalLowerBound returns OPTf of the instance, solving via the owned
+// Solver on a miss and replaying the memoized height — or the memoized
+// error — on a hit.
 func (c *BoundCache) FractionalLowerBound(in *geom.Instance) (float64, error) {
 	key := fingerprint(in)
 	c.mu.Lock()
@@ -66,10 +77,18 @@ func (c *BoundCache) FractionalLowerBound(in *geom.Instance) (float64, error) {
 		c.mu.Unlock()
 		return h, nil
 	}
+	if err, ok := c.errs[key]; ok {
+		c.hits++
+		c.mu.Unlock()
+		return 0, err
+	}
 	c.misses++
 	c.mu.Unlock()
-	fs, _, err := SolveCG(in, c.opts)
+	fs, _, err := c.solver.Solve(in)
 	if err != nil {
+		c.mu.Lock()
+		c.errs[key] = err
+		c.mu.Unlock()
 		return 0, err
 	}
 	c.mu.Lock()
@@ -83,4 +102,9 @@ func (c *BoundCache) Stats() (hits, misses int) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.hits, c.misses
+}
+
+// SolverStats reports the pool activity of the cache's owned Solver.
+func (c *BoundCache) SolverStats() SolverStats {
+	return c.solver.Stats()
 }

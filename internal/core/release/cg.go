@@ -42,7 +42,7 @@ import (
 // below -cgPriceTol: the master optimum is then optimal for the full LP,
 // matching SolveModel's height to within numerical tolerance.
 
-// CGOptions configures SolveCG.
+// CGOptions configures SolveCG and Solver.
 type CGOptions struct {
 	// Workers is the pricing fan-out over phases (0 = GOMAXPROCS). Results
 	// are byte-identical for every value >= 1.
@@ -51,6 +51,12 @@ type CGOptions struct {
 	// round adds at least one new configuration, so the cap is only hit on
 	// numerically pathological inputs.
 	MaxRounds int
+	// DisablePool turns off cross-solve column pooling in the engines that
+	// carry one (Solver, and BoundCache through it), making every solve run
+	// from the singleton start like SolveCG — the reference oracle path the
+	// -cg-pool=false experiment flag pins tables against. One-shot SolveCG
+	// calls never pool and ignore it.
+	DisablePool bool
 }
 
 // CGStats reports the size of the column-generation run.
@@ -59,6 +65,14 @@ type CGStats struct {
 	Columns int // structural columns in the final master
 	Rows    int // master rows
 	Pivots  int // simplex pivots accumulated across all rounds
+	// PooledColumns counts the configurations bulk-loaded from a Solver's
+	// persistent pool into this solve's restricted master (each spans
+	// NumPhases master columns); 0 on poolless solves.
+	PooledColumns int
+	// PoolHits counts the pooled configurations that carry nonzero height
+	// in the final optimum — the warm-start columns the answer actually
+	// stands on.
+	PoolHits int
 }
 
 // cgPriceTol is the reduced-cost threshold below which a priced column is
@@ -78,8 +92,17 @@ const maxPriceUnits = 1 << 12
 // is no eagerly assembled program). The solution's Height matches
 // SolveModel on the same instance to within numerical tolerance, with a
 // basic optimum, so ToIntegral and the Lemma 3.4 occurrence bound apply
-// unchanged.
+// unchanged. SolveCG is the poolless reference path; Solver runs the same
+// engine warm-started from its persistent cross-solve column pool.
 func SolveCG(in *geom.Instance, opts CGOptions) (*FractionalSolution, *CGStats, error) {
+	return solveCG(in, opts, nil)
+}
+
+// solveCG is the column-generation core: build the restricted master, start
+// from the singleton configurations, bulk-load the seed configurations (a
+// Solver's pool snapshot; nil for poolless solves), then alternate master
+// re-optimization with knapsack pricing until no column improves.
+func solveCG(in *geom.Instance, opts CGOptions, seed []Config) (*FractionalSolution, *CGStats, error) {
 	if err := in.Validate(); err != nil {
 		return nil, nil, err
 	}
@@ -147,12 +170,12 @@ func SolveCG(in *geom.Instance, opts CGOptions) (*FractionalSolution, *CGStats, 
 	if err != nil {
 		return nil, nil, err
 	}
-	// Arena hints: W singleton configs plus a generation headroom of ~32
-	// configs (E7 tops out around 26 even at K=24), each with one column
-	// per phase, plus up to two logical columns per row; a phase-j column
-	// hits on average about half the covering rows. Exceeding the hint
-	// just falls back to append growth.
-	expCols := (W+32)*phases + 2*len(ops)
+	// Arena hints: W singleton configs, the pool seed, plus a generation
+	// headroom of ~32 configs (E7 tops out around 26 even at K=24), each
+	// with one column per phase, plus up to two logical columns per row; a
+	// phase-j column hits on average about half the covering rows.
+	// Exceeding the hint just falls back to append growth.
+	expCols := (W+len(seed)+32)*phases + 2*len(ops)
 	expNNZ := expCols * (len(ops)/2 + 2)
 	solver.Reserve(expCols, expNNZ)
 	st := &cgSolve{
@@ -179,7 +202,7 @@ func SolveCG(in *geom.Instance, opts CGOptions) (*FractionalSolution, *CGStats, 
 	st.candOK = make([]bool, phases)
 	st.colIdx = make([]int32, 0, len(ops)+1)
 	st.colVal = make([]float64, 0, len(ops)+1)
-	m.Configs = make([]Config, 0, W+32)
+	m.Configs = make([]Config, 0, W+len(seed)+32)
 
 	// Trivial feasible start: the maximal single-width configuration per
 	// width (phase R is uncapped, so covering is always satisfiable).
@@ -191,6 +214,11 @@ func SolveCG(in *geom.Instance, opts CGOptions) (*FractionalSolution, *CGStats, 
 		counts := st.carveCounts()
 		counts[i] = c
 		if err := st.addConfig(counts); err != nil {
+			return nil, nil, err
+		}
+	}
+	if len(seed) > 0 {
+		if err := st.seedConfigs(seed); err != nil {
 			return nil, nil, err
 		}
 	}
@@ -249,6 +277,17 @@ func SolveCG(in *geom.Instance, opts CGOptions) (*FractionalSolution, *CGStats, 
 		Rows:    solver.NumRows(),
 		Pivots:  solver.Iterations(),
 	}
+	if st.seedCount > 0 {
+		stats.PooledColumns = st.seedCount
+		for q := st.seedStart; q < st.seedStart+st.seedCount; q++ {
+			for _, v := range fs.X[q] {
+				if v > 0 {
+					stats.PoolHits++
+					break
+				}
+			}
+		}
+	}
 	return fs, stats, nil
 }
 
@@ -269,6 +308,8 @@ type cgSolve struct {
 	countsArena []int   // slab the Config.Counts slices are carved from
 	colIdx      []int32 // column assembly scratch
 	colVal      []float64
+
+	seedStart, seedCount int // pool seed span inside m.Configs
 }
 
 // carveCounts returns a zeroed W-slot counts slice from the arena.
@@ -315,6 +356,80 @@ func (st *cgSolve) addConfig(counts []int) error {
 		st.colIdx, st.colVal = idx[:0], val[:0]
 	}
 	return nil
+}
+
+// seedConfigs bulk-loads a Solver's pool snapshot into the restricted
+// master. Every seed is feasible here by the pool-key contract (same strip
+// width, same width set), so its phase columns load unchanged; seeds dedup
+// against the singleton start (pool entries are already mutually distinct)
+// and append in pool-insertion order, keeping the master column order — and
+// therefore the simplex path — a pure function of the solve sequence. The
+// Counts slices stay shared with the pool read-only. All columns assemble
+// into one lp.Revised.AddColumns batch so the arenas grow exactly once.
+func (st *cgSolve) seedConfigs(seed []Config) error {
+	st.seedStart = len(st.m.Configs)
+	accepted := make([]Config, 0, len(seed))
+	for _, c := range seed {
+		dup := false
+		for q := range st.m.Configs {
+			if slices.Equal(st.m.Configs[q].Counts, c.Counts) {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			accepted = append(accepted, c)
+		}
+	}
+	st.seedCount = len(accepted)
+	if st.seedCount == 0 {
+		return nil
+	}
+	// Exact CSR sizing: a covering-row entry of phase row k appears in the
+	// columns of phases j >= k, i.e. phases-k times; each of the R capped
+	// phases contributes one packing entry per configuration.
+	nnz := st.seedCount * st.R
+	for _, c := range accepted {
+		for k := 0; k < st.phases; k++ {
+			row := st.covRow[k]
+			for i, cnt := range c.Counts {
+				if cnt > 0 && row[i] >= 0 {
+					nnz += st.phases - k
+				}
+			}
+		}
+	}
+	nCols := st.seedCount * st.phases
+	costs := make([]float64, 0, nCols)
+	starts := make([]int32, 1, nCols+1)
+	idx := make([]int32, 0, nnz)
+	val := make([]float64, 0, nnz)
+	for _, c := range accepted {
+		st.m.Configs = append(st.m.Configs, c)
+		for j := 0; j < st.phases; j++ {
+			if j < st.R {
+				idx = append(idx, int32(j))
+				val = append(val, 1)
+			}
+			for k := 0; k <= j; k++ {
+				row := st.covRow[k]
+				for i, cnt := range c.Counts {
+					if cnt > 0 && row[i] >= 0 {
+						idx = append(idx, row[i])
+						val = append(val, float64(cnt))
+					}
+				}
+			}
+			cost := 0.0
+			if j == st.R {
+				cost = 1
+			}
+			costs = append(costs, cost)
+			starts = append(starts, int32(len(idx)))
+		}
+	}
+	_, err := st.solver.AddColumns(costs, starts, idx, val)
+	return err
 }
 
 // priceAndAdd runs one pricing round over all phases on the worker pool

@@ -22,9 +22,38 @@
 // SolveCG (cg.go) is the production path: delayed column generation that
 // starts from the single-width configurations and prices new ones against
 // the master duals with a bounded-knapsack dynamic program per phase, so
-// configurations are generated on demand and never enumerated. Repeated
-// FractionalLowerBound solves across an experiment grid dedup through
-// BoundCache.
+// configurations are generated on demand and never enumerated.
+//
+// # Cross-solve column pool
+//
+// A configuration is a multiset of widths fitting the strip, so it is
+// feasible for every instance sharing the (strip width, distinct width
+// set) pair — the experiment grids and any long-running bound service
+// solve hundreds of such siblings. Solver (solver.go) exploits this: it
+// keeps a per-width-set pool (pool.go) of every configuration its solves
+// have generated, bulk-loads the pool into each new solve's restricted
+// master (one lp.Revised.AddColumns batch, after the singletons, in
+// pool-insertion order, deduped by packed multiplicity vector), and
+// appends what the solve generates back. Warm solves start near-optimal
+// and typically converge in 1–3 pricing rounds instead of tens.
+// BoundCache owns a Solver, so it memoizes the work of column generation
+// across distinct instances as well as the answers to repeated ones, and
+// caches errors so a failing instance is diagnosed once.
+//
+// # Determinism contract
+//
+// A pooled solve still runs column generation to optimality, so its
+// height is the configuration LP's optimum regardless of which columns
+// were seeded: the pool affects only the simplex path, perturbing results
+// by LP round-off — within 1e-9 of the poolless SolveCG height (property-
+// and fuzz-tested in solver_test.go). Given a fixed solve sequence, the
+// pool state and every result are fully reproducible; under concurrent
+// use (RunGrid workers sharing a BoundCache) the interleaving may vary
+// which pool snapshot a solve sees, moving results only within that same
+// 1e-9 envelope, which the experiment tables' fixed-precision rendering
+// absorbs — `make determinism` enforces byte-identity across worker
+// counts and pool on/off end-to-end. One-shot SolveCG (and any Solver
+// with CGOptions.DisablePool) stays the poolless reference oracle.
 package release
 
 import (

@@ -414,3 +414,155 @@ func TestDenseSolversAcceptSparseRows(t *testing.T) {
 		t.Fatalf("exact solver on sparse rows: %g vs %g", e1.Objective, s2.Objective)
 	}
 }
+
+// batchFromProblem assembles a Problem's columns into the CSR-style batch
+// form AddColumns takes.
+func batchFromProblem(p *Problem) (costs []float64, starts []int32, idx []int32, val []float64) {
+	colIdx := make([][]int32, p.NumVars)
+	colVal := make([][]float64, p.NumVars)
+	for i := range p.Constraints {
+		row := i
+		p.Constraints[i].forEach(func(j int, v float64) {
+			colIdx[j] = append(colIdx[j], int32(row))
+			colVal[j] = append(colVal[j], v)
+		})
+	}
+	starts = append(starts, 0)
+	for j := 0; j < p.NumVars; j++ {
+		costs = append(costs, p.Objective[j])
+		idx = append(idx, colIdx[j]...)
+		val = append(val, colVal[j]...)
+		starts = append(starts, int32(len(idx)))
+	}
+	return
+}
+
+// newRevisedFromProblem builds an empty Revised over the problem's rows.
+func newRevisedFromProblem(p *Problem) *Revised {
+	m := len(p.Constraints)
+	ops := make([]Relation, m)
+	rhs := make([]float64, m)
+	for i, c := range p.Constraints {
+		ops[i] = c.Op
+		rhs[i] = c.RHS
+	}
+	r, err := NewRevised(ops, rhs)
+	if err != nil {
+		panic(err)
+	}
+	return r
+}
+
+// TestAddColumnsMatchesAddColumn: loading a program through one AddColumns
+// batch is bit-identical to the AddColumn loop — same statuses, objectives,
+// solutions and duals, on random programs and also when the batch lands on
+// an already-initialized warm solver.
+func TestAddColumnsMatchesAddColumn(t *testing.T) {
+	rng := rand.New(rand.NewSource(313))
+	for trial := 0; trial < 200; trial++ {
+		p := randomProblem(rng, trial%2 == 0)
+		costs, starts, idx, val := batchFromProblem(p)
+
+		single := newRevisedFromProblem(p)
+		for j := 0; j < p.NumVars; j++ {
+			if _, err := single.AddColumn(costs[j], idx[starts[j]:starts[j+1]], val[starts[j]:starts[j+1]]); err != nil {
+				t.Fatalf("trial %d: AddColumn: %v", trial, err)
+			}
+		}
+		batch := newRevisedFromProblem(p)
+		first, err := batch.AddColumns(costs, starts, idx, val)
+		if err != nil {
+			t.Fatalf("trial %d: AddColumns: %v", trial, err)
+		}
+		if first != 0 || batch.NumColumns() != p.NumVars {
+			t.Fatalf("trial %d: batch placed at %d with %d columns", trial, first, batch.NumColumns())
+		}
+		s1, err := single.Solve()
+		if err != nil {
+			t.Fatalf("trial %d: single solve: %v", trial, err)
+		}
+		s2, err := batch.Solve()
+		if err != nil {
+			t.Fatalf("trial %d: batch solve: %v", trial, err)
+		}
+		if s1.Status != s2.Status || s1.Objective != s2.Objective {
+			t.Fatalf("trial %d: single %v/%g vs batch %v/%g",
+				trial, s1.Status, s1.Objective, s2.Status, s2.Objective)
+		}
+		if s1.Status != Optimal {
+			continue
+		}
+		for j := range s1.X {
+			if s1.X[j] != s2.X[j] {
+				t.Fatalf("trial %d: X[%d] single %g vs batch %g", trial, j, s1.X[j], s2.X[j])
+			}
+		}
+		for i := range s1.Duals {
+			if s1.Duals[i] != s2.Duals[i] {
+				t.Fatalf("trial %d: dual %d single %g vs batch %g", trial, i, s1.Duals[i], s2.Duals[i])
+			}
+		}
+		// A second batch after the warm solve must keep the basis valid, like
+		// AddColumn between Solve calls does.
+		if _, err := batch.AddColumns(costs[:1], starts[:2], idx[:starts[1]], val[:starts[1]]); err != nil {
+			t.Fatalf("trial %d: warm AddColumns: %v", trial, err)
+		}
+		if _, err := single.AddColumn(costs[0], idx[:starts[1]], val[:starts[1]]); err != nil {
+			t.Fatalf("trial %d: warm AddColumn: %v", trial, err)
+		}
+		s1, err = single.Solve()
+		if err != nil {
+			t.Fatalf("trial %d: warm single solve: %v", trial, err)
+		}
+		s2, err = batch.Solve()
+		if err != nil {
+			t.Fatalf("trial %d: warm batch solve: %v", trial, err)
+		}
+		if s1.Status != s2.Status || s1.Objective != s2.Objective {
+			t.Fatalf("trial %d: warm single %v/%g vs batch %v/%g",
+				trial, s1.Status, s1.Objective, s2.Status, s2.Objective)
+		}
+	}
+}
+
+// TestAddColumnsValidation: malformed batches are rejected atomically — no
+// partial commit ever becomes visible.
+func TestAddColumnsValidation(t *testing.T) {
+	mk := func() *Revised {
+		r, err := NewRevised([]Relation{LE, GE}, []float64{1, 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r
+	}
+	cases := []struct {
+		name   string
+		costs  []float64
+		starts []int32
+		idx    []int32
+		val    []float64
+	}{
+		{"starts length", []float64{1}, []int32{0}, nil, nil},
+		{"starts span", []float64{1}, []int32{0, 2}, []int32{0}, []float64{1}},
+		{"idx/val length", []float64{1}, []int32{0, 1}, []int32{0}, []float64{1, 2}},
+		{"row out of range", []float64{1, 1}, []int32{0, 1, 2}, []int32{0, 2}, []float64{1, 1}},
+		{"not ascending", []float64{1, 1}, []int32{0, 2, 4}, []int32{0, 1, 1, 1}, []float64{1, 1, 1, 1}},
+		{"descending starts", []float64{1, 1}, []int32{0, 2, 1}, []int32{0, 1}, []float64{1, 1}},
+	}
+	for _, tc := range cases {
+		r := mk()
+		if _, err := r.AddColumn(0.5, []int32{0}, []float64{1}); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := r.AddColumns(tc.costs, tc.starts, tc.idx, tc.val); err == nil {
+			t.Fatalf("%s: batch accepted", tc.name)
+		}
+		if r.NumColumns() != 1 {
+			t.Fatalf("%s: partial commit left %d columns", tc.name, r.NumColumns())
+		}
+		// The solver still works after the rejected batch.
+		if _, err := r.Solve(); err != nil {
+			t.Fatalf("%s: solve after rejected batch: %v", tc.name, err)
+		}
+	}
+}
