@@ -18,14 +18,16 @@ test:
 vet:
 	$(GO) vet ./...
 
-# The online scheduler, fault harness, fleet router, experiment drivers
-# and the release package (its Solver pool is hit concurrently from
-# RunGrid workers; TestSolverConcurrent fans out goroutines) under the
-# race detector. The experiments tests exercise E13/E14/E15 with their
-# default fan-outs and the fleet tests sweep worker counts, so the shard
-# pool runs genuinely concurrent under -race.
+# The online scheduler, fault harness, fleet router, placement service,
+# experiment drivers and the release package (its Solver pool is hit
+# concurrently from RunGrid workers; TestSolverConcurrent fans out
+# goroutines) under the race detector. The experiments tests exercise
+# E13/E14/E15 with their default fan-outs, the fleet tests sweep worker
+# counts, and the service tests drive one Server from concurrent client
+# connections, so the shard pool and the request mutex run genuinely
+# concurrent under -race.
 race:
-	$(GO) test -race ./internal/fpga ./internal/faultinject ./internal/fleet ./internal/experiments ./internal/core/release
+	$(GO) test -race ./internal/fpga ./internal/faultinject ./internal/fleet ./internal/service ./internal/experiments ./internal/core/release
 
 ci: build vet test race determinism
 
@@ -37,21 +39,24 @@ bench-smoke:
 # Full measurement run recorded as JSON (see cmd/benchjson). Bump the
 # output name when recording a new trajectory point:
 #   make bench-record BENCH_OUT=BENCH_6.json
-BENCH_OUT ?= BENCH_6.json
+BENCH_OUT ?= BENCH_8.json
 bench-record:
 	$(GO) run ./cmd/benchjson -out $(BENCH_OUT) -bench . -benchtime 2s
 
 # Property-based fuzzing: the skyline hot path, the online scheduler's
 # submit/complete state machine, snapshot/restore replay fidelity, the
-# batched-submission equivalence contract, and the column pool's
-# pooled-vs-fresh height equivalence across interleaved width sets.
-# (go test accepts one -fuzz pattern per invocation, hence five runs.)
+# batched-submission equivalence contract, the column pool's
+# pooled-vs-fresh height equivalence across interleaved width sets, and
+# the placement-service wire codec (decoders never panic on arbitrary
+# bytes; whatever decodes re-encodes canonically).
+# (go test accepts one -fuzz pattern per invocation, hence six runs.)
 fuzz:
 	$(GO) test ./internal/geom -fuzz FuzzSkylinePlace -fuzztime 30s
 	$(GO) test ./internal/fpga -fuzz FuzzSubmitComplete -fuzztime 30s
 	$(GO) test ./internal/fpga -fuzz FuzzSnapshotRestore -fuzztime 30s
 	$(GO) test ./internal/fpga -fuzz FuzzSubmitBatch -fuzztime 30s
 	$(GO) test ./internal/core/release -fuzz FuzzSolverPool -fuzztime 30s
+	$(GO) test ./internal/service -fuzz FuzzServiceCodec -fuzztime 30s
 
 # The parallel engines' determinism contracts: experiment tables must be
 # byte-identical regardless of the trial-pool width (-parallel), the DC
@@ -60,11 +65,14 @@ fuzz:
 # — a pooled solve still reaches the LP optimum, so the fixed-precision
 # tables cannot move), E13's per-policy simulation fan-out
 # (-churn-workers), E14's per-admission-policy fan-out (-admission) and
-# E15's fleet shard-execution fan-out (-fleet-workers); and the fleet
-# load harness must stream 1M tasks across 64 shards byte-identically at
-# -fleet-workers 1 vs 8, for both a load-blind and a load-aware -route.
-# Runs in a private temp dir so concurrent invocations on a shared host
-# cannot clobber each other.
+# E15's fleet shard-execution fan-out (-fleet-workers); the fleet load
+# harness must stream 1M tasks across 64 shards byte-identically at
+# -fleet-workers 1 vs 8, for both a load-blind and a load-aware -route;
+# and the same harness driving a loopback placementd daemon over its
+# unix socket (-connect) must reproduce the in-process output — summary
+# and canonical-snapshot hash — byte for byte, for both routes. Runs in
+# a private temp dir so concurrent invocations on a shared host cannot
+# clobber each other.
 determinism:
 	@dir=$$(mktemp -d) && trap 'rm -rf "$$dir"' EXIT && \
 	$(GO) build -o $$dir/experiments ./cmd/experiments && \
@@ -82,4 +90,12 @@ determinism:
 	$$dir/fleetload -n 1000000 -shards 64 -route least -fleet-workers 8 > $$dir/fleet-least-par.txt && \
 	cmp $$dir/fleet-rr-serial.txt $$dir/fleet-rr-par.txt && \
 	cmp $$dir/fleet-least-serial.txt $$dir/fleet-least-par.txt && \
-	echo "determinism: tables and fleet harness byte-identical across every worker flag"
+	$(GO) build -o $$dir/placementd ./cmd/placementd && \
+	for route in rr least; do \
+		$$dir/placementd -listen unix:$$dir/pd.sock -shards 64 -route $$route & pd=$$!; \
+		sleep 0.3; \
+		$$dir/fleetload -connect unix:$$dir/pd.sock -n 1000000 -shards 64 -route $$route > $$dir/fleet-$$route-daemon.txt || { kill $$pd; exit 1; }; \
+		kill -TERM $$pd && wait $$pd; \
+		cmp $$dir/fleet-$$route-serial.txt $$dir/fleet-$$route-daemon.txt || exit 1; \
+	done && \
+	echo "determinism: tables and fleet harness byte-identical across every worker flag and the daemon path"

@@ -11,6 +11,7 @@ package strippack
 import (
 	"io"
 	"math/rand"
+	"net"
 	"runtime"
 	"sort"
 	"testing"
@@ -26,6 +27,7 @@ import (
 	"strippack/internal/fpga"
 	"strippack/internal/lp"
 	"strippack/internal/packing"
+	"strippack/internal/service"
 	"strippack/internal/workload"
 )
 
@@ -630,6 +632,69 @@ func benchFleetChurn(b *testing.B, route fleet.Route) {
 func BenchmarkFleetChurn100kRR(b *testing.B)    { benchFleetChurn(b, fleet.RouteRR) }
 func BenchmarkFleetChurn100kLeast(b *testing.B) { benchFleetChurn(b, fleet.RouteLeast) }
 func BenchmarkFleetChurn100kP2C(b *testing.B)   { benchFleetChurn(b, fleet.RouteP2C) }
+
+// BenchmarkServiceSubmitLoopback100k is BenchmarkFleetChurn100kLeast
+// through the full service stack — Client → wire codec → Server → fleet
+// over a net.Pipe loopback — so the delta against the direct benchmark is
+// the cost of the transport layer (framing, codec, one synchronous round
+// trip per chunk).
+func BenchmarkServiceSubmitLoopback100k(b *testing.B) {
+	const (
+		K      = 16
+		shards = 64
+		n      = 100_000
+		chunk  = 1024
+	)
+	b.ReportAllocs()
+	b.ResetTimer()
+	var busy time.Duration
+	var perTask []float64
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		f, err := fleet.New(fleet.Config{
+			Shards: shards, Columns: K, Policy: fpga.ReclaimCompact,
+			Admission: fpga.AdmissionConfig{Policy: fpga.AdmitShed, MaxBacklog: 64},
+			Route:     fleet.RouteLeast, Seed: 29,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		cc, sc := net.Pipe()
+		go service.NewServer(service.Local{Fleet: f}).Serve(sc)
+		client := service.NewClient(cc)
+		stream, err := workload.ChurnStream(rand.New(rand.NewSource(29)), n, K, 0.8*shards, 0.3)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+		buf := make([]workload.ChurnTask, chunk)
+		base := 0
+		for {
+			m := stream.NextChunk(buf)
+			if m == 0 {
+				break
+			}
+			t0 := time.Now()
+			if _, err := client.Submit(0, fleet.Specs(buf[:m], base)); err != nil {
+				b.Fatal(err)
+			}
+			el := time.Since(t0)
+			busy += el
+			perTask = append(perTask, float64(el.Nanoseconds())/float64(m))
+			base += m
+		}
+		if err := client.Drain(); err != nil {
+			b.Fatal(err)
+		}
+		client.Close()
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(n)*float64(b.N)/busy.Seconds(), "tasks/s")
+	sort.Float64s(perTask)
+	b.ReportMetric(perTask[len(perTask)/2], "p50-ns/task")
+	b.ReportMetric(perTask[len(perTask)*99/100], "p99-ns/task")
+	b.ReportMetric(shards, "shards")
+}
 
 // BenchmarkSnapshotRestore measures the crash-recovery round trip
 // (Snapshot -> RestoreScheduler, without the JSON encode) on a scheduler

@@ -4,25 +4,40 @@
 // a few chunks in memory at a time instead of the whole trace.
 //
 //	fleetload -n 1000000 -shards 64 -k 16 -route least
+//	fleetload -connect unix:/tmp/placementd.sock -n 1000000 ...
+//
+// The harness drives a service.Placer, so the same pipeline runs against
+// an in-process fleet or a placementd daemon (-connect). In daemon mode
+// the fleet-shape flags describe the daemon the client expects: the
+// opHello handshake verifies them against the daemon's actual shape
+// (everything that affects results except -fleet-workers) and refuses to
+// run on a mismatch, so a summary always means what the flags say.
 //
 // The default output is deterministic — a pure function of every flag
-// except -fleet-workers — which is what lets `make determinism` diff two
-// runs at different worker counts byte for byte. -timing adds wall-clock
-// throughput (sustained submissions/sec) and the p50/p99 per-task
-// placement latency over per-chunk samples; those lines are inherently
-// non-deterministic and are what `make bench` records into BENCH_6.json.
+// except -fleet-workers and the transport — which is what lets
+// `make determinism` diff runs at different worker counts AND across the
+// in-process/daemon paths byte for byte. The `snapshots sha256` line
+// hashes every shard's canonical wire-encoded snapshot, extending the
+// byte-identical claim from the aggregate stats to the full final fleet
+// state. -timing adds wall-clock throughput, placement-latency
+// percentiles, and per-shard shed/rejected/restored counters; those lines
+// are (or may be) non-deterministic and are what `make bench` records.
 package main
 
 import (
+	"crypto/sha256"
 	"flag"
 	"fmt"
 	"math/rand"
+	"net"
 	"os"
+	"reflect"
 	"sort"
 	"time"
 
 	"strippack/internal/fleet"
 	"strippack/internal/fpga"
+	"strippack/internal/service"
 	"strippack/internal/workload"
 )
 
@@ -39,8 +54,11 @@ func main() {
 	n := flag.Int("n", 1_000_000, "number of tasks to stream")
 	shards := flag.Int("shards", 64, "number of scheduler shards")
 	k := flag.Int("k", 16, "columns per shard")
+	shardCols := flag.String("shard-cols", "", "per-shard columns, e.g. 8,8,32,32 (overrides -k)")
 	delay := flag.Float64("reconfig", 0, "per-task reconfiguration delay")
 	routeName := flag.String("route", "least", "placement route: rr, least, or p2c")
+	tenants := flag.String("tenants", "", "tenant groups, e.g. alpha:4:rr,beta:60 (empty = one tenant)")
+	tenant := flag.String("tenant", "", "tenant to drive (empty = first tenant)")
 	workers := flag.Int("fleet-workers", 0, "parallel shard workers (0 = GOMAXPROCS); never affects results")
 	chunk := flag.Int("chunk", 1024, "tasks per pipelined batch")
 	wl := flag.String("workload", "churn", "trace shape: churn or burst")
@@ -53,36 +71,18 @@ func main() {
 	admissionName := flag.String("admission", "shed", "admission policy: unbounded, reject, or shed")
 	backlog := flag.Int("backlog", 64, "per-shard backlog bound for reject/shed")
 	seed := flag.Int64("seed", 1, "workload and p2c rng seed")
-	timing := flag.Bool("timing", false, "report wall-clock throughput and placement-latency percentiles")
+	connect := flag.String("connect", "", "drive a placementd daemon at unix:/path or tcp:host:port instead of an in-process fleet")
+	timing := flag.Bool("timing", false, "report wall-clock throughput, latency percentiles and per-shard counters")
 	flag.Usage = usage
 	flag.Parse()
 
-	policy, err := fpga.ParsePolicy(*policyName)
+	cfg, err := buildConfig(*shards, *k, *shardCols, *delay, *policyName,
+		*admissionName, *backlog, *routeName, *tenants, *seed, *workers)
 	if err != nil {
 		fatal(err)
 	}
-	admission, err := fpga.ParseAdmission(*admissionName)
-	if err != nil {
-		fatal(err)
-	}
-	route, err := fleet.ParseRoute(*routeName)
-	if err != nil {
-		fatal(err)
-	}
-	ac := fpga.AdmissionConfig{Policy: admission}
-	if admission != fpga.AdmitAll {
-		ac.MaxBacklog = *backlog
-	}
-	f, err := fleet.New(fleet.Config{
-		Shards:        *shards,
-		Columns:       *k,
-		ReconfigDelay: *delay,
-		Policy:        policy,
-		Admission:     ac,
-		Route:         route,
-		Seed:          *seed,
-		Workers:       *workers,
-	})
+
+	placer, ti, err := dial(cfg, *connect, *tenant)
 	if err != nil {
 		fatal(err)
 	}
@@ -105,13 +105,17 @@ func main() {
 		fatal(err)
 	}
 
-	st, tm, err := run(f, stream, *chunk)
+	st, tm, err := run(placer, ti, stream, *chunk)
 	if err != nil {
 		fatal(err)
 	}
 
-	fmt.Printf("fleetload: %d tasks, %d shards x %d columns, route=%v policy=%v admission=%v load=%g workload=%s chunk=%d seed=%d\n",
-		st.Tasks, st.Shards, *k, route, policy, admission, *load, *wl, *chunk, *seed)
+	colsDesc := fmt.Sprintf("%d columns", *k)
+	if *shardCols != "" {
+		colsDesc = "columns " + *shardCols
+	}
+	fmt.Printf("fleetload: %d tasks, %d shards x %s, route=%s policy=%s admission=%s load=%g workload=%s chunk=%d seed=%d\n",
+		st.Tasks, st.Shards, colsDesc, *routeName, *policyName, *admissionName, *load, *wl, *chunk, *seed)
 	fmt.Printf("admitted %d  rejected %d  shed %d  (conserved: %v)\n",
 		st.Admitted, st.Rejected, st.Shed, st.Admitted+st.Rejected+st.Shed == st.Tasks)
 	fmt.Printf("makespan %.4f  utilization %.4f  mean wait %.4f  peak backlog %d\n",
@@ -126,10 +130,136 @@ func main() {
 		}
 	}
 	fmt.Printf("per-shard admitted min %d max %d\n", minA, maxA)
+
+	// Hash every shard's canonical snapshot (wire encoding, deterministic
+	// bytes): the line is byte-identical across worker counts and across
+	// the in-process/daemon paths iff the full final fleet state is.
+	h := sha256.New()
+	for i := 0; i < st.Shards; i++ {
+		snap, err := placer.SnapshotShard(i)
+		if err != nil {
+			fatal(err)
+		}
+		h.Write(service.EncodeSnapshot(snap))
+	}
+	fmt.Printf("snapshots sha256 %x\n", h.Sum(nil))
+
 	if *timing {
 		fmt.Printf("sustained %.0f tasks/s  p50 %d ns/task  p99 %d ns/task  wall %s\n",
 			tm.rate, tm.p50, tm.p99, tm.wall.Round(time.Millisecond))
+		restored, err := placer.Restored()
+		if err != nil {
+			fatal(err)
+		}
+		for i, ps := range st.PerShard {
+			fmt.Printf("shard %d  shed %d  rejected %d  restored %d\n",
+				i, ps.Shed, ps.Rejected, restored[i])
+		}
 	}
+	if c, ok := placer.(*service.Client); ok {
+		c.Close()
+	}
+}
+
+// buildConfig resolves the fleet-shape flags shared with placementd into
+// a fleet.Config.
+func buildConfig(shards, k int, shardCols string, delay float64, policyName,
+	admissionName string, backlog int, routeName, tenants string, seed int64,
+	workers int) (fleet.Config, error) {
+	var cfg fleet.Config
+	policy, err := fpga.ParsePolicy(policyName)
+	if err != nil {
+		return cfg, err
+	}
+	admission, err := fpga.ParseAdmission(admissionName)
+	if err != nil {
+		return cfg, err
+	}
+	route, err := fleet.ParseRoute(routeName)
+	if err != nil {
+		return cfg, err
+	}
+	cols, err := fleet.ParseShardCols(shardCols)
+	if err != nil {
+		return cfg, err
+	}
+	tn, err := fleet.ParseTenants(tenants, route)
+	if err != nil {
+		return cfg, err
+	}
+	ac := fpga.AdmissionConfig{Policy: admission}
+	if admission != fpga.AdmitAll {
+		ac.MaxBacklog = backlog
+	}
+	return fleet.Config{
+		Shards:        shards,
+		Columns:       k,
+		ShardCols:     cols,
+		ReconfigDelay: delay,
+		Policy:        policy,
+		Admission:     ac,
+		Route:         route,
+		Tenants:       tn,
+		Seed:          seed,
+		Workers:       workers,
+	}, nil
+}
+
+// dial returns the Placer to drive — an in-process fleet, or a client to
+// a placementd daemon whose shape is verified against cfg via the
+// opHello handshake — plus the index of the tenant to submit to.
+func dial(cfg fleet.Config, connect, tenant string) (service.Placer, int, error) {
+	if connect == "" {
+		f, err := fleet.New(cfg)
+		if err != nil {
+			return nil, 0, err
+		}
+		p := service.Local{Fleet: f}
+		ti, err := resolveTenant(p, tenant)
+		return p, ti, err
+	}
+	network, addr, err := service.SplitAddr(connect)
+	if err != nil {
+		return nil, 0, err
+	}
+	conn, err := net.Dial(network, addr)
+	if err != nil {
+		return nil, 0, err
+	}
+	client := service.NewClient(conn)
+	got, err := client.Info()
+	if err != nil {
+		return nil, 0, err
+	}
+	// The expected shape is what an in-process fleet with these flags
+	// would report; building one guarantees the comparison tracks the
+	// fleet's own resolution rules (implicit tenant, ShardCols, ...).
+	ref, err := fleet.New(cfg)
+	if err != nil {
+		return nil, 0, err
+	}
+	want, _ := service.Local{Fleet: ref}.Info()
+	if !reflect.DeepEqual(got, want) {
+		return nil, 0, fmt.Errorf("daemon at %s does not match the flags: it runs %+v, flags say %+v", connect, got, want)
+	}
+	ti, err := resolveTenant(client, tenant)
+	return client, ti, err
+}
+
+func resolveTenant(p service.Placer, tenant string) (int, error) {
+	if tenant == "" {
+		return 0, nil
+	}
+	in, err := p.Info()
+	if err != nil {
+		return 0, err
+	}
+	for i, t := range in.Tenants {
+		if t.Name == tenant {
+			return i, nil
+		}
+	}
+	return 0, fmt.Errorf("no tenant %q (have %d tenants)", tenant, len(in.Tenants))
 }
 
 type timings struct {
@@ -141,10 +271,10 @@ type timings struct {
 
 // run drives the three-stage pipeline: a generator goroutine draining the
 // stream into chunk buffers, the placement stage routing each chunk
-// through the fleet, and an aggregator goroutine folding per-chunk
+// through the Placer, and an aggregator goroutine folding per-chunk
 // samples. The channels are bounded (4 chunks in flight), so memory is
 // O(chunk), not O(n).
-func run(f *fleet.Fleet, stream *workload.Stream, chunk int) (*fleet.Stats, *timings, error) {
+func run(p service.Placer, ti int, stream *workload.Stream, chunk int) (*fleet.Stats, *timings, error) {
 	if chunk < 1 {
 		return nil, nil, fmt.Errorf("chunk must be >= 1, got %d", chunk)
 	}
@@ -191,7 +321,7 @@ func run(f *fleet.Fleet, stream *workload.Stream, chunk int) (*fleet.Stats, *tim
 	base := 0
 	for tasks := range chunks { // placement stage
 		t0 := time.Now()
-		if _, err := f.SubmitBatch(fleet.Specs(tasks, base)); err != nil {
+		if _, err := p.Submit(ti, fleet.Specs(tasks, base)); err != nil {
 			close(samples)
 			return nil, nil, err
 		}
@@ -201,7 +331,7 @@ func run(f *fleet.Fleet, stream *workload.Stream, chunk int) (*fleet.Stats, *tim
 	close(samples)
 	tm := <-tmCh
 
-	st, err := f.Finish()
+	st, err := p.Finish()
 	if err != nil {
 		return nil, nil, err
 	}

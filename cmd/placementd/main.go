@@ -1,0 +1,159 @@
+// placementd is the placement-service daemon: one sharded fleet of
+// online schedulers behind the service wire protocol, listening on a
+// unix socket or TCP port.
+//
+//	placementd -listen unix:/tmp/placementd.sock -shards 64 -k 16
+//	placementd -listen tcp:127.0.0.1:7420 -tenants alpha:16:rr,beta:48
+//
+// Clients (cmd/fleetload -connect, or anything speaking the protocol in
+// internal/service/DESIGN.md) open the opHello handshake to verify the
+// daemon's fleet shape and resolve per-tenant endpoints by name. Any
+// number of connections share the one fleet; the server serializes
+// requests in arrival order, so a single driving client sees the exact
+// in-process fleet semantics — byte-identical stats and snapshots, as
+// `make determinism` enforces.
+//
+// SIGTERM/SIGINT triggers a graceful drain: the listener closes (new
+// connections refused), in-flight requests finish, the fleet drains and
+// the final aggregate summary is printed before exit.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"os/signal"
+	"sync"
+	"syscall"
+
+	"strippack/internal/fleet"
+	"strippack/internal/fpga"
+	"strippack/internal/service"
+)
+
+func usage() {
+	fmt.Fprintf(os.Stderr, `placementd: placement-service daemon over a fleet of online schedulers
+
+usage: placementd -listen unix:/path|tcp:host:port [flags]
+
+`)
+	flag.PrintDefaults()
+}
+
+func main() {
+	listen := flag.String("listen", "unix:/tmp/placementd.sock", "endpoint: unix:/path or tcp:host:port")
+	shards := flag.Int("shards", 64, "number of scheduler shards")
+	k := flag.Int("k", 16, "columns per shard")
+	shardCols := flag.String("shard-cols", "", "per-shard columns, e.g. 8,8,32,32 (overrides -k)")
+	delay := flag.Float64("reconfig", 0, "per-task reconfiguration delay")
+	routeName := flag.String("route", "least", "placement route: rr, least, or p2c")
+	tenants := flag.String("tenants", "", "tenant groups, e.g. alpha:4:rr,beta:60 (empty = one tenant)")
+	workers := flag.Int("fleet-workers", 0, "parallel shard workers (0 = GOMAXPROCS); never affects results")
+	policyName := flag.String("policy", "compact", "completion policy: none, reclaim, or compact")
+	admissionName := flag.String("admission", "shed", "admission policy: unbounded, reject, or shed")
+	backlog := flag.Int("backlog", 64, "per-shard backlog bound for reject/shed")
+	seed := flag.Int64("seed", 1, "p2c rng seed")
+	flag.Usage = usage
+	flag.Parse()
+
+	policy, err := fpga.ParsePolicy(*policyName)
+	if err != nil {
+		fatal(err)
+	}
+	admission, err := fpga.ParseAdmission(*admissionName)
+	if err != nil {
+		fatal(err)
+	}
+	route, err := fleet.ParseRoute(*routeName)
+	if err != nil {
+		fatal(err)
+	}
+	cols, err := fleet.ParseShardCols(*shardCols)
+	if err != nil {
+		fatal(err)
+	}
+	tn, err := fleet.ParseTenants(*tenants, route)
+	if err != nil {
+		fatal(err)
+	}
+	ac := fpga.AdmissionConfig{Policy: admission}
+	if admission != fpga.AdmitAll {
+		ac.MaxBacklog = *backlog
+	}
+	f, err := fleet.New(fleet.Config{
+		Shards:        *shards,
+		Columns:       *k,
+		ShardCols:     cols,
+		ReconfigDelay: *delay,
+		Policy:        policy,
+		Admission:     ac,
+		Route:         route,
+		Tenants:       tn,
+		Seed:          *seed,
+		Workers:       *workers,
+	})
+	if err != nil {
+		fatal(err)
+	}
+
+	network, addr, err := service.SplitAddr(*listen)
+	if err != nil {
+		fatal(err)
+	}
+	if network == "unix" {
+		// A stale socket from an unclean shutdown blocks rebinding.
+		os.Remove(addr)
+	}
+	ln, err := net.Listen(network, addr)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "placementd: %d shards, listening on %s\n", *shards, *listen)
+
+	srv := service.NewServer(service.Local{Fleet: f})
+	done := make(chan struct{})
+	var conns sync.WaitGroup
+	go func() { // accept loop; ends when the listener closes on shutdown
+		defer close(done)
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			conns.Add(1)
+			go func() {
+				defer conns.Done()
+				defer conn.Close()
+				if err := srv.Serve(conn); err != nil {
+					fmt.Fprintln(os.Stderr, "placementd: connection:", err)
+				}
+			}()
+		}
+	}()
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGTERM, syscall.SIGINT)
+	s := <-sig
+	fmt.Fprintf(os.Stderr, "placementd: %s, draining\n", s)
+	ln.Close()
+	<-done
+	conns.Wait() // in-flight connections finish their requests
+	if network == "unix" {
+		os.Remove(addr)
+	}
+
+	st, err := f.Finish()
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("placementd: %d tasks over %d shards  admitted %d  rejected %d  shed %d\n",
+		st.Tasks, st.Shards, st.Admitted, st.Rejected, st.Shed)
+	fmt.Printf("makespan %.4f  utilization %.4f  mean wait %.4f  peak backlog %d\n",
+		st.Makespan, st.Utilization, st.MeanWait, st.MaxBacklog)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "placementd:", err)
+	os.Exit(1)
+}

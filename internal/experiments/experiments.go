@@ -154,6 +154,8 @@ const (
 	seedE13 int64 = 0xAB1<<8 | 0x13
 	seedE14 int64 = 0xAB1<<8 | 0x14
 	seedE15 int64 = 0xAB1<<8 | 0x15
+	// seedE15b seeds E15's second grid (heterogeneous shard columns).
+	seedE15b int64 = 0xAB1<<8 | 0xB5
 )
 
 // E1 measures DC height against the best simple lower bound on random
@@ -1098,7 +1100,10 @@ func E14(w io.Writer) error {
 // wait of the admitted population, the fraction of traffic refused
 // (rejected + shed, asserted to conserve task counts per trial), and the
 // per-shard admitted-count imbalance (max-min)/mean — the spread the
-// load-aware routes exist to close.
+// load-aware routes exist to close. A second grid repeats the comparison
+// on a heterogeneous fleet (shard columns 8..32 against 16-column-max
+// tasks) where width eligibility and capacity-normalized scoring come
+// into play.
 func E15(w io.Writer) error {
 	const (
 		K      = 16
@@ -1175,6 +1180,81 @@ func E15(w io.Writer) error {
 			stats.Summarize(i0).Mean, stats.Summarize(i1).Mean, stats.Summarize(i2).Mean)
 	}
 	t.Render(w)
+
+	// Second grid: the same route comparison on a heterogeneous fleet —
+	// shard columns 8,8,16,16,24,24,32,32 against tasks up to 16 columns
+	// wide, so the two 8-column shards are ineligible for the wide half of
+	// the traffic and the drain-time-normalized scores have real capacity
+	// ratios to exploit. The imbalance metric is capacity-normalized here
+	// (admitted per column): load-aware routes should equalize per-column
+	// throughput, while round-robin's equal shard counts overdrive the
+	// narrow shards.
+	cols := []int{8, 8, 16, 16, 24, 24, 32, 32}
+	totalCols := 0
+	for _, c := range cols {
+		totalCols += c
+	}
+	rowsB, err := RunGrid(len(loads), seeds, seedE15b, func(t Trial, rng *rand.Rand) (res, error) {
+		load := loads[t.Row]
+		tasks, err := workload.Churn(rng, n, K, load*shards, 0.4)
+		if err != nil {
+			return res{}, err
+		}
+		var r res
+		for i, route := range routes {
+			st, err := fleet.RunChurn(tasks, fleet.Config{
+				Shards:    shards,
+				ShardCols: cols,
+				Policy:    fpga.ReclaimCompact,
+				Admission: fpga.AdmissionConfig{Policy: fpga.AdmitShed, MaxBacklog: bound},
+				Route:     route,
+				Seed:      t.Seed,
+				Workers:   FleetWorkers,
+			}, chunk)
+			if err != nil {
+				return res{}, err
+			}
+			if st.Admitted+st.Rejected+st.Shed != n {
+				return res{}, fmt.Errorf("E15 hetero load=%g %v: %d admitted + %d rejected + %d shed != %d tasks",
+					load, route, st.Admitted, st.Rejected, st.Shed, n)
+			}
+			if st.MaxBacklog > bound {
+				return res{}, fmt.Errorf("E15 hetero load=%g %v: backlog peaked at %d, bound %d",
+					load, route, st.MaxBacklog, bound)
+			}
+			r.wait[i] = st.MeanWait
+			r.refu[i] = float64(st.Rejected+st.Shed) / n
+			minR, maxR := math.Inf(1), math.Inf(-1)
+			for s, ps := range st.PerShard {
+				rate := float64(ps.Admitted) / float64(cols[s])
+				minR = math.Min(minR, rate)
+				maxR = math.Max(maxR, rate)
+			}
+			if st.Admitted > 0 {
+				r.imb[i] = (maxR - minR) * float64(totalCols) / float64(st.Admitted)
+			}
+		}
+		return r, nil
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "\nheterogeneous shards (columns %v):\n", cols)
+	tb := &stats.Table{Header: []string{"load", "wait rr", "wait least", "wait p2c",
+		"refuse rr", "refuse least", "refuse p2c", "colimb rr", "colimb least", "colimb p2c"}}
+	for i, load := range loads {
+		var w0, w1, w2, f0, f1, f2, i0, i1, i2 []float64
+		for _, r := range rowsB[i] {
+			w0, w1, w2 = append(w0, r.wait[0]), append(w1, r.wait[1]), append(w2, r.wait[2])
+			f0, f1, f2 = append(f0, r.refu[0]), append(f1, r.refu[1]), append(f2, r.refu[2])
+			i0, i1, i2 = append(i0, r.imb[0]), append(i1, r.imb[1]), append(i2, r.imb[2])
+		}
+		tb.Add(load,
+			stats.Summarize(w0).Mean, stats.Summarize(w1).Mean, stats.Summarize(w2).Mean,
+			stats.Summarize(f0).Mean, stats.Summarize(f1).Mean, stats.Summarize(f2).Mean,
+			stats.Summarize(i0).Mean, stats.Summarize(i1).Mean, stats.Summarize(i2).Mean)
+	}
+	tb.Render(w)
 	return nil
 }
 

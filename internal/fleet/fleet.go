@@ -3,25 +3,41 @@
 // scenario at rack scale, where one placement service fronts many
 // reconfigurable devices.
 //
+// Shards are grouped into tenants: each Tenant owns a contiguous shard
+// range with its own route policy and admission default, and routing
+// never crosses a tenant boundary. A fleet without explicit tenants is
+// one implicit tenant spanning every shard, which reproduces the
+// historical single-group behavior exactly.
+//
 // Determinism contract: every routing decision is made in a single
 // sequential pass over the batch, before any shard work runs. Round-robin
-// advances a cursor; least-loaded compares deterministic scores (the
-// shard's committed column-time as of the last batch barrier plus a
-// cols×duration estimate for everything already routed this batch, ties
-// to the lowest shard index); power-of-two-choices draws its two
-// candidates from a seeded rng consumed in spec order. Only after the
+// advances a per-tenant cursor; least-loaded compares deterministic
+// drain-time scores (the shard's committed column-time as of the last
+// batch barrier plus a cols×duration estimate for everything already
+// routed this batch, both normalized by the shard's column count, ties to
+// the lowest shard index); power-of-two-choices draws its two candidates
+// from a per-tenant seeded rng consumed in spec order. Only after the
 // whole batch is routed do the per-shard SubmitBatch calls run — on up to
 // Workers goroutines, but over disjoint shards, joined at a barrier — and
 // placements and stats are always merged in shard-index order. Results
 // are therefore a pure function of (Config minus Workers, submission
 // sequence): byte-identical for any worker count, which `make
 // determinism` pins by diffing fleetload output at -fleet-workers 1 vs 8.
+//
+// Failover rides the same contract: SnapshotShard captures a shard's
+// canonical fpga.Snapshot and RestoreShard swaps a freshly restored
+// scheduler into the slot between batch barriers. Because snapshots are
+// canonical and load scores are barrier-refreshed from shard state, a
+// crash+restore at a batch boundary continues byte-identically to the
+// uninterrupted run (see DESIGN.md).
 package fleet
 
 import (
 	"fmt"
 	"math/rand"
 	"runtime"
+	"strconv"
+	"strings"
 	"sync"
 
 	"strippack/internal/fpga"
@@ -32,10 +48,12 @@ import (
 type Route int
 
 const (
-	// RouteRR assigns submissions round-robin, ignoring load.
+	// RouteRR assigns submissions round-robin, ignoring load (skipping
+	// shards too narrow for the task under heterogeneous ShardCols).
 	RouteRR Route = iota
 	// RouteLeast assigns each submission to the shard with the least
-	// committed column-time (ties to the lowest shard index).
+	// committed column-time per column — the estimated drain time (ties
+	// to the lowest shard index).
 	RouteLeast
 	// RouteP2C samples two shards uniformly from a seeded rng and takes
 	// the less loaded of the two — the classic power-of-two-choices
@@ -68,20 +86,96 @@ func ParseRoute(s string) (Route, error) {
 	return 0, fmt.Errorf("fleet: unknown route %q (want rr, least or p2c)", s)
 }
 
+// ParseShardCols maps the cmd-line "8,8,32,32" syntax to a per-shard
+// column slice for Config.ShardCols. Empty input means nil (homogeneous
+// fleet from Config.Columns).
+func ParseShardCols(s string) ([]int, error) {
+	if s == "" {
+		return nil, nil
+	}
+	parts := strings.Split(s, ",")
+	cols := make([]int, len(parts))
+	for i, p := range parts {
+		k, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil || k < 1 {
+			return nil, fmt.Errorf("fleet: bad shard columns %q (want comma-separated positive ints)", s)
+		}
+		cols[i] = k
+	}
+	return cols, nil
+}
+
+// ParseTenants maps the cmd-line "name:shards[:route],..." syntax to a
+// tenant list for Config.Tenants. A tenant with no route inherits
+// fallback (the fleet-wide route flag). Empty input means nil (the
+// implicit single tenant).
+func ParseTenants(s string, fallback Route) ([]Tenant, error) {
+	if s == "" {
+		return nil, nil
+	}
+	var out []Tenant
+	for _, spec := range strings.Split(s, ",") {
+		fields := strings.Split(spec, ":")
+		if len(fields) < 2 || len(fields) > 3 || fields[0] == "" {
+			return nil, fmt.Errorf("fleet: bad tenant %q (want name:shards[:route])", spec)
+		}
+		n, err := strconv.Atoi(fields[1])
+		if err != nil || n < 1 {
+			return nil, fmt.Errorf("fleet: bad tenant shard count in %q", spec)
+		}
+		t := Tenant{Name: fields[0], Shards: n, Route: fallback}
+		if len(fields) == 3 {
+			if t.Route, err = ParseRoute(fields[2]); err != nil {
+				return nil, err
+			}
+		}
+		out = append(out, t)
+	}
+	return out, nil
+}
+
+// Tenant declares one tenant-scoped shard group. Tenants partition the
+// fleet's shards into contiguous ranges in declaration order: the first
+// tenant owns shards [0, Shards), the next the following range, and so
+// on; the per-tenant counts must sum to Config.Shards. Each tenant routes
+// its own submissions with its own Route policy (cursor and rng state are
+// per tenant — tenant i's p2c rng is seeded Config.Seed + i), and routing
+// never places a tenant's task outside its range.
+type Tenant struct {
+	// Name addresses the tenant (service endpoints route by name). Must
+	// be non-empty and unique within the fleet.
+	Name string
+	// Shards is the size of the tenant's contiguous shard range.
+	Shards int
+	// Route is the tenant's placement policy.
+	Route Route
+	// Admission, when non-nil, overrides Config.Admission for the
+	// tenant's shards. Config.ShardAdmission (global, per shard) wins
+	// over both.
+	Admission *fpga.AdmissionConfig
+}
+
 // Config describes a fleet. Columns and ReconfigDelay describe each
-// shard's device; Admission applies to every shard unless ShardAdmission
-// overrides it per shard. Seed feeds the power-of-two-choices rng (unused
-// by the other routes). Workers bounds the goroutines running per-shard
-// work between routing barriers; 0 means GOMAXPROCS. Workers never
-// affects results — see the package determinism contract.
+// shard's device; ShardCols, when set (len == Shards), gives each shard
+// its own column count and Columns is ignored. Admission applies to every
+// shard unless a tenant or ShardAdmission overrides it (precedence:
+// ShardAdmission[i], then the owning tenant's Admission, then Admission).
+// Tenants partitions the shards into routed groups; nil means one
+// implicit tenant named "default" spanning every shard with Config.Route.
+// Seed feeds the power-of-two-choices rngs (tenant i draws from
+// Seed + i). Workers bounds the goroutines running per-shard work between
+// routing barriers; 0 means GOMAXPROCS. Workers never affects results —
+// see the package determinism contract.
 type Config struct {
 	Shards         int
 	Columns        int
+	ShardCols      []int // optional, len == Shards when set
 	ReconfigDelay  float64
 	Policy         fpga.Policy
 	Admission      fpga.AdmissionConfig
 	ShardAdmission []fpga.AdmissionConfig // optional, len == Shards when set
 	Route          Route
+	Tenants        []Tenant // optional, shard counts must sum to Shards
 	Seed           int64
 	Workers        int
 }
@@ -92,30 +186,58 @@ type Placement struct {
 	Task  fpga.Task
 }
 
+// tenantState is the per-tenant routing state: the shard range and the
+// route-policy cursors, all consumed sequentially in spec order.
+type tenantState struct {
+	name         string
+	first, count int
+	route        Route
+	rr           int
+	rng          *rand.Rand // p2c only
+}
+
 // Fleet is a router over independent scheduler shards. Methods are not
 // safe for concurrent use; the internal worker pool is invisible to
 // callers.
 type Fleet struct {
-	cfg    Config
-	shards []*fpga.OnlineScheduler
-	rr     int
-	rng    *rand.Rand
-	score  []float64         // committed col-time per shard: barrier base + in-batch estimate
-	subs   [][]fpga.TaskSpec // per-shard sub-batch scratch
+	cfg        Config
+	shards     []*fpga.OnlineScheduler
+	cols       []int                  // resolved per-shard column count
+	adm        []fpga.AdmissionConfig // resolved per-shard admission
+	tenants    []tenantState
+	needScores bool              // any tenant routes load-aware
+	score      []float64         // per-shard drain-time estimate: (barrier col-time + in-batch cols×duration) / cols
+	restored   []int             // per-shard RestoreShard count
+	subs       [][]fpga.TaskSpec // per-shard sub-batch scratch
 }
 
-// New builds a fleet of cfg.Shards schedulers over cfg.Columns-column
-// devices. Each shard gets its own Device value, so shards never share
-// mutable state.
+func validRoute(r Route) bool {
+	return r == RouteRR || r == RouteLeast || r == RouteP2C
+}
+
+// New builds a fleet of cfg.Shards schedulers. Each shard gets its own
+// Device value, so shards never share mutable state.
 func New(cfg Config) (*Fleet, error) {
 	if cfg.Shards < 1 {
 		return nil, fmt.Errorf("fleet: need at least 1 shard, got %d", cfg.Shards)
 	}
-	if cfg.Columns < 1 {
+	if cfg.ShardCols != nil {
+		if len(cfg.ShardCols) != cfg.Shards {
+			return nil, fmt.Errorf("fleet: ShardCols has %d entries for %d shards", len(cfg.ShardCols), cfg.Shards)
+		}
+		for i, k := range cfg.ShardCols {
+			if k < 1 {
+				return nil, fmt.Errorf("fleet: shard %d has %d columns", i, k)
+			}
+		}
+	} else if cfg.Columns < 1 {
 		return nil, fmt.Errorf("fleet: need at least 1 column per shard, got %d", cfg.Columns)
 	}
 	if cfg.ShardAdmission != nil && len(cfg.ShardAdmission) != cfg.Shards {
 		return nil, fmt.Errorf("fleet: ShardAdmission has %d entries for %d shards", len(cfg.ShardAdmission), cfg.Shards)
+	}
+	if !validRoute(cfg.Route) {
+		return nil, fmt.Errorf("fleet: unknown route %d", int(cfg.Route))
 	}
 	if cfg.Workers < 0 {
 		return nil, fmt.Errorf("fleet: negative worker count %d", cfg.Workers)
@@ -124,93 +246,295 @@ func New(cfg Config) (*Fleet, error) {
 		cfg.Workers = runtime.GOMAXPROCS(0)
 	}
 	f := &Fleet{
-		cfg:    cfg,
-		shards: make([]*fpga.OnlineScheduler, cfg.Shards),
-		score:  make([]float64, cfg.Shards),
-		subs:   make([][]fpga.TaskSpec, cfg.Shards),
+		cfg:      cfg,
+		shards:   make([]*fpga.OnlineScheduler, cfg.Shards),
+		cols:     make([]int, cfg.Shards),
+		adm:      make([]fpga.AdmissionConfig, cfg.Shards),
+		score:    make([]float64, cfg.Shards),
+		restored: make([]int, cfg.Shards),
+		subs:     make([][]fpga.TaskSpec, cfg.Shards),
+	}
+	// Tenant partition: explicit list or the implicit all-shards default.
+	decl := cfg.Tenants
+	if decl == nil {
+		decl = []Tenant{{Name: "default", Shards: cfg.Shards, Route: cfg.Route}}
+	}
+	seen := make(map[string]bool, len(decl))
+	first := 0
+	for ti, t := range decl {
+		if t.Name == "" {
+			return nil, fmt.Errorf("fleet: tenant %d has no name", ti)
+		}
+		if seen[t.Name] {
+			return nil, fmt.Errorf("fleet: duplicate tenant name %q", t.Name)
+		}
+		seen[t.Name] = true
+		if t.Shards < 1 {
+			return nil, fmt.Errorf("fleet: tenant %q owns %d shards", t.Name, t.Shards)
+		}
+		if !validRoute(t.Route) {
+			return nil, fmt.Errorf("fleet: tenant %q: unknown route %d", t.Name, int(t.Route))
+		}
+		ts := tenantState{name: t.Name, first: first, count: t.Shards, route: t.Route}
+		if t.Route == RouteP2C {
+			ts.rng = rand.New(rand.NewSource(cfg.Seed + int64(ti)))
+		}
+		if t.Route != RouteRR {
+			f.needScores = true
+		}
+		f.tenants = append(f.tenants, ts)
+		first += t.Shards
+	}
+	if first != cfg.Shards {
+		return nil, fmt.Errorf("fleet: tenants own %d shards, fleet has %d", first, cfg.Shards)
 	}
 	for i := range f.shards {
+		k := cfg.Columns
+		if cfg.ShardCols != nil {
+			k = cfg.ShardCols[i]
+		}
+		f.cols[i] = k
 		ac := cfg.Admission
+		if ta := decl[f.tenantOf(i)].Admission; ta != nil {
+			ac = *ta
+		}
 		if cfg.ShardAdmission != nil {
 			ac = cfg.ShardAdmission[i]
 		}
+		f.adm[i] = ac
 		o, err := fpga.NewOnlineSchedulerAdmission(
-			&fpga.Device{Columns: cfg.Columns, ReconfigDelay: cfg.ReconfigDelay},
+			&fpga.Device{Columns: k, ReconfigDelay: cfg.ReconfigDelay},
 			cfg.Policy, ac)
 		if err != nil {
 			return nil, fmt.Errorf("fleet: shard %d: %w", i, err)
 		}
 		f.shards[i] = o
 	}
-	if cfg.Route == RouteP2C {
-		f.rng = rand.New(rand.NewSource(cfg.Seed))
-	}
 	return f, nil
+}
+
+// tenantOf returns the index of the tenant owning shard s.
+func (f *Fleet) tenantOf(s int) int {
+	for ti := range f.tenants {
+		if s < f.tenants[ti].first+f.tenants[ti].count {
+			return ti
+		}
+	}
+	return len(f.tenants) - 1
 }
 
 // Shards returns the shard count.
 func (f *Fleet) Shards() int { return len(f.shards) }
+
+// Cols returns shard i's column count.
+func (f *Fleet) Cols(i int) int { return f.cols[i] }
+
+// ShardColumns returns the resolved per-shard column counts (a copy).
+func (f *Fleet) ShardColumns() []int {
+	out := make([]int, len(f.cols))
+	copy(out, f.cols)
+	return out
+}
+
+// Config returns a copy of the fleet's configuration with the optional
+// slices cloned, so callers cannot alias internal state.
+func (f *Fleet) Config() Config {
+	cfg := f.cfg
+	if cfg.ShardCols != nil {
+		cfg.ShardCols = append([]int(nil), cfg.ShardCols...)
+	}
+	if cfg.ShardAdmission != nil {
+		cfg.ShardAdmission = append([]fpga.AdmissionConfig(nil), cfg.ShardAdmission...)
+	}
+	if cfg.Tenants != nil {
+		cfg.Tenants = append([]Tenant(nil), cfg.Tenants...)
+		for i := range cfg.Tenants {
+			if a := cfg.Tenants[i].Admission; a != nil {
+				ac := *a
+				cfg.Tenants[i].Admission = &ac
+			}
+		}
+	}
+	return cfg
+}
+
+// Tenants returns the number of tenant groups (>= 1: a fleet without
+// explicit tenants has the implicit all-shards "default" tenant).
+func (f *Fleet) Tenants() int { return len(f.tenants) }
+
+// TenantRange returns tenant ti's name and contiguous shard range
+// [first, first+count).
+func (f *Fleet) TenantRange(ti int) (name string, first, count int) {
+	t := &f.tenants[ti]
+	return t.name, t.first, t.count
+}
+
+// TenantByName resolves a tenant name to its index.
+func (f *Fleet) TenantByName(name string) (int, bool) {
+	for ti := range f.tenants {
+		if f.tenants[ti].name == name {
+			return ti, true
+		}
+	}
+	return 0, false
+}
 
 // Shard exposes one underlying scheduler — for snapshotting, equivalence
 // tests and per-shard inspection. Submitting to it directly bypasses the
 // router and is the caller's responsibility.
 func (f *Fleet) Shard(i int) *fpga.OnlineScheduler { return f.shards[i] }
 
-// route picks the shard for one spec and charges the routing estimate.
-func (f *Fleet) route(sp *fpga.TaskSpec) int {
-	var s int
-	switch f.cfg.Route {
-	case RouteRR:
-		s = f.rr
-		f.rr++
-		if f.rr == len(f.shards) {
-			f.rr = 0
-		}
-	case RouteLeast:
-		s = 0
-		for i := 1; i < len(f.score); i++ {
-			if f.score[i] < f.score[s] {
-				s = i
-			}
-		}
-	case RouteP2C:
-		a := f.rng.Intn(len(f.shards))
-		b := f.rng.Intn(len(f.shards))
-		s = a
-		if f.score[b] < f.score[a] || (f.score[b] == f.score[a] && b < a) {
-			s = b
-		}
+// SnapshotShard captures shard i's canonical state — the serialization
+// RestoreShard (and any durable store between the two) consumes. The
+// fpga.Snapshot is canonical: equal-behavior shards snapshot
+// byte-identically, which is what makes the failover replay argument in
+// DESIGN.md work.
+func (f *Fleet) SnapshotShard(i int) (*fpga.Snapshot, error) {
+	if i < 0 || i >= len(f.shards) {
+		return nil, fmt.Errorf("fleet: shard %d out of range [0, %d)", i, len(f.shards))
 	}
-	f.score[s] += float64(sp.Cols) * sp.Duration
-	return s
+	return f.shards[i].Snapshot(), nil
 }
 
-// SubmitBatch routes the batch (sequentially, in input order), submits
-// each shard's sub-batch through the shard's own SubmitBatch (in parallel
-// across the worker pool), and returns the placements merged in
-// shard-index order, each shard's in its own (release, index) submission
-// order. Submissions refused by a shard's admission control are skipped,
-// exactly as OnlineScheduler.SubmitBatch skips them. A hard error from
-// any shard aborts with the lowest-index shard's error; placements
-// already made on other shards stay, so a fleet that returned a hard
-// error should be discarded.
+// RestoreShard swaps a freshly restored scheduler into slot i — the
+// failover hook: after a shard crash, restore its last durable snapshot
+// in place without stopping the fleet. The snapshot is fully validated
+// (fpga.RestoreScheduler) and must match the slot's geometry and policy
+// configuration, so a snapshot from a different shard shape cannot
+// silently change the fleet. Must be called between batches (fleet
+// methods are not concurrent); the continuation is then byte-identical to
+// the uninterrupted run — routing state lives in the Fleet, and the next
+// batch barrier re-reads the restored shard's (canonical, hence
+// identical) load. RestoredCounts reports per-slot restore totals.
+func (f *Fleet) RestoreShard(i int, s *fpga.Snapshot) error {
+	if i < 0 || i >= len(f.shards) {
+		return fmt.Errorf("fleet: shard %d out of range [0, %d)", i, len(f.shards))
+	}
+	o, err := fpga.RestoreScheduler(s)
+	if err != nil {
+		return fmt.Errorf("fleet: restore shard %d: %w", i, err)
+	}
+	if s.Columns != f.cols[i] {
+		return fmt.Errorf("fleet: restore shard %d: snapshot has %d columns, shard has %d", i, s.Columns, f.cols[i])
+	}
+	if s.ReconfigDelay != f.cfg.ReconfigDelay {
+		return fmt.Errorf("fleet: restore shard %d: snapshot reconfig delay %g, fleet %g", i, s.ReconfigDelay, f.cfg.ReconfigDelay)
+	}
+	if s.Policy != f.cfg.Policy {
+		return fmt.Errorf("fleet: restore shard %d: snapshot policy %v, fleet %v", i, s.Policy, f.cfg.Policy)
+	}
+	if s.Admission != f.adm[i] {
+		return fmt.Errorf("fleet: restore shard %d: snapshot admission %+v, shard %+v", i, s.Admission, f.adm[i])
+	}
+	f.shards[i] = o
+	f.restored[i]++
+	return nil
+}
+
+// RestoredCounts returns how many times each shard slot has been swapped
+// by RestoreShard (a copy). Deliberately not part of Stats: a restored
+// fleet's Stats must stay byte-identical to the uninterrupted run's.
+func (f *Fleet) RestoredCounts() []int {
+	out := make([]int, len(f.restored))
+	copy(out, f.restored)
+	return out
+}
+
+// route picks tenant ti's shard for one spec and charges the routing
+// estimate. Only shards wide enough for the task are eligible; an error
+// means no shard in the tenant's range can ever hold the task.
+func (f *Fleet) route(ti int, sp *fpga.TaskSpec) (int, error) {
+	t := &f.tenants[ti]
+	fits := func(s int) bool { return sp.Cols <= f.cols[s] }
+	// leastIn is the shared load-aware argmin over the tenant's eligible
+	// shards: smallest drain-time score, ties to the lowest shard index.
+	leastIn := func() int {
+		best := -1
+		for s := t.first; s < t.first+t.count; s++ {
+			if fits(s) && (best < 0 || f.score[s] < f.score[best]) {
+				best = s
+			}
+		}
+		return best
+	}
+	s := -1
+	switch t.route {
+	case RouteRR:
+		for j := 0; j < t.count; j++ {
+			c := t.first + (t.rr+j)%t.count
+			if fits(c) {
+				s = c
+				t.rr = (t.rr + j + 1) % t.count
+				break
+			}
+		}
+	case RouteLeast:
+		s = leastIn()
+	case RouteP2C:
+		// The rng is always consumed exactly twice per spec, so the draw
+		// sequence is independent of task widths.
+		a := t.first + t.rng.Intn(t.count)
+		b := t.first + t.rng.Intn(t.count)
+		switch {
+		case fits(a) && fits(b):
+			s = a
+			if f.score[b] < f.score[a] || (f.score[b] == f.score[a] && b < a) {
+				s = b
+			}
+		case fits(a):
+			s = a
+		case fits(b):
+			s = b
+		default:
+			s = leastIn()
+		}
+	}
+	if s < 0 {
+		return 0, fmt.Errorf("fleet: task %d needs %d columns, wider than every shard of tenant %q", sp.ID, sp.Cols, t.name)
+	}
+	f.score[s] += float64(sp.Cols) * sp.Duration / float64(f.cols[s])
+	return s, nil
+}
+
+// SubmitBatch submits the batch to tenant 0 — the whole fleet when no
+// explicit tenants are configured, the first declared tenant otherwise.
 func (f *Fleet) SubmitBatch(specs []fpga.TaskSpec) ([]Placement, error) {
+	return f.SubmitBatchTenant(0, specs)
+}
+
+// SubmitBatchTenant routes the batch within tenant ti's shard range
+// (sequentially, in input order), submits each shard's sub-batch through
+// the shard's own SubmitBatch (in parallel across the worker pool), and
+// returns the placements merged in shard-index order, each shard's in its
+// own (release, index) submission order. Submissions refused by a shard's
+// admission control are skipped, exactly as OnlineScheduler.SubmitBatch
+// skips them. A routing error (task wider than every tenant shard) aborts
+// before any shard work runs. A hard error from any shard aborts with the
+// lowest-index shard's error; placements already made on other shards
+// stay, so a fleet that returned a hard error should be discarded.
+func (f *Fleet) SubmitBatchTenant(ti int, specs []fpga.TaskSpec) ([]Placement, error) {
+	if ti < 0 || ti >= len(f.tenants) {
+		return nil, fmt.Errorf("fleet: tenant %d out of range [0, %d)", ti, len(f.tenants))
+	}
 	if len(specs) == 0 {
 		return nil, nil
 	}
 	// Barrier refresh: every shard is quiescent here, so its committed
 	// column-time is exact; in-batch routing then works from this base
-	// plus the cols×duration estimates route() accrues.
-	if f.cfg.Route != RouteRR {
+	// plus the normalized cols×duration estimates route() accrues.
+	if f.needScores {
 		for i, o := range f.shards {
-			f.score[i] = o.Load().CommittedColTime
+			f.score[i] = o.Load().CommittedColTime / float64(f.cols[i])
 		}
 	}
 	for i := range f.subs {
 		f.subs[i] = f.subs[i][:0]
 	}
 	for i := range specs {
-		s := f.route(&specs[i])
+		s, err := f.route(ti, &specs[i])
+		if err != nil {
+			return nil, err
+		}
 		f.subs[s] = append(f.subs[s], specs[i])
 	}
 	placedBy := make([][]fpga.Task, len(f.shards))
@@ -295,7 +619,7 @@ type Stats struct {
 	// Admitted + Rejected + Shed == Tasks.
 	Admitted, Rejected, Shed int
 	// Makespan is the latest completion across shards; Utilization is
-	// total busy column-time / (Shards × Columns × Makespan).
+	// total busy column-time / (total columns × Makespan).
 	Makespan, Utilization float64
 	// MeanWait is the mean of Start - Release over all admitted tasks.
 	MeanWait float64
@@ -348,7 +672,8 @@ func (f *Fleet) Finish() (*Stats, error) {
 	}
 	agg := &Stats{Shards: len(f.shards), PerShard: per}
 	var busy, wait float64
-	for _, st := range per {
+	var totalCols int
+	for i, st := range per {
 		agg.Admitted += st.Admitted
 		agg.Rejected += st.Rejected
 		agg.Shed += st.Shed
@@ -359,11 +684,12 @@ func (f *Fleet) Finish() (*Stats, error) {
 		if st.MaxBacklog > agg.MaxBacklog {
 			agg.MaxBacklog = st.MaxBacklog
 		}
-		busy += st.Utilization * float64(f.cfg.Columns) * st.Makespan
+		busy += st.Utilization * float64(f.cols[i]) * st.Makespan
 		wait += st.MeanWait * float64(st.Admitted)
+		totalCols += f.cols[i]
 	}
 	if agg.Makespan > 0 {
-		agg.Utilization = busy / (float64(f.cfg.Shards*f.cfg.Columns) * agg.Makespan)
+		agg.Utilization = busy / (float64(totalCols) * agg.Makespan)
 	}
 	if agg.Admitted > 0 {
 		agg.MeanWait = wait / float64(agg.Admitted)

@@ -1,0 +1,440 @@
+// Package service is the transport-agnostic request layer over the
+// placement fleet: the same Placer interface is served by Local (direct
+// calls into an in-process fleet.Fleet) and by Client (a deterministic
+// length-prefixed binary protocol over any io.ReadWriter — a net.Conn to
+// a placementd daemon, a net.Pipe loopback, or an in-memory buffer).
+// Server relays the protocol onto any Placer, so transports compose.
+//
+// The contract that matters is equivalence: a trace driven through a
+// Client against a Server wrapping a Local produces byte-identical
+// placements, stats and canonical shard snapshots to the same trace
+// driven through the Local directly. The codec never touches a float's
+// bits and the server executes requests in arrival order under a mutex,
+// so the wire adds latency but no behavior. See DESIGN.md for the frame
+// format and request taxonomy.
+package service
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"strings"
+	"sync"
+
+	"strippack/internal/fleet"
+	"strippack/internal/fpga"
+)
+
+// Placer is the placement-service surface: everything the load harness
+// and the failover machinery need from a fleet, in-process or remote.
+// Implementations are not required to be safe for concurrent use; Server
+// serializes requests from all connections onto one Placer.
+type Placer interface {
+	// Info returns the fleet shape and tenant endpoints.
+	Info() (*Info, error)
+	// Submit routes one batch within tenant ti and returns the
+	// placements in shard-index order.
+	Submit(ti int, specs []fpga.TaskSpec) ([]fleet.Placement, error)
+	// Drain processes every registered completion on every shard.
+	Drain() error
+	// Loads returns every shard's live load accounting, in shard order.
+	Loads() ([]fpga.LoadStats, error)
+	// SnapshotShard returns shard i's canonical snapshot.
+	SnapshotShard(i int) (*fpga.Snapshot, error)
+	// RestoreShard swaps a restored scheduler into slot i.
+	RestoreShard(i int, s *fpga.Snapshot) error
+	// Restored returns the per-shard RestoreShard totals.
+	Restored() ([]int, error)
+	// Finish drains, re-verifies and aggregates the run's stats.
+	Finish() (*fleet.Stats, error)
+}
+
+// Local adapts an in-process fleet to the Placer interface.
+type Local struct{ Fleet *fleet.Fleet }
+
+func (l Local) Info() (*Info, error) {
+	cfg := l.Fleet.Config()
+	in := &Info{
+		Shards:        cfg.Shards,
+		Cols:          l.Fleet.ShardColumns(),
+		ReconfigDelay: cfg.ReconfigDelay,
+		Policy:        cfg.Policy,
+		Admission:     cfg.Admission,
+		Route:         cfg.Route,
+		Seed:          cfg.Seed,
+	}
+	for ti := 0; ti < l.Fleet.Tenants(); ti++ {
+		name, first, count := l.Fleet.TenantRange(ti)
+		route := cfg.Route
+		if cfg.Tenants != nil {
+			route = cfg.Tenants[ti].Route
+		}
+		in.Tenants = append(in.Tenants, TenantInfo{Name: name, First: first, Count: count, Route: route})
+	}
+	return in, nil
+}
+
+func (l Local) Submit(ti int, specs []fpga.TaskSpec) ([]fleet.Placement, error) {
+	return l.Fleet.SubmitBatchTenant(ti, specs)
+}
+
+func (l Local) Drain() error { return l.Fleet.Drain() }
+
+func (l Local) Loads() ([]fpga.LoadStats, error) {
+	out := make([]fpga.LoadStats, l.Fleet.Shards())
+	for i := range out {
+		out[i] = l.Fleet.Shard(i).Load()
+	}
+	return out, nil
+}
+
+func (l Local) SnapshotShard(i int) (*fpga.Snapshot, error) { return l.Fleet.SnapshotShard(i) }
+
+func (l Local) RestoreShard(i int, s *fpga.Snapshot) error { return l.Fleet.RestoreShard(i, s) }
+
+func (l Local) Restored() ([]int, error) { return l.Fleet.RestoredCounts(), nil }
+
+func (l Local) Finish() (*fleet.Stats, error) { return l.Fleet.Finish() }
+
+// Server relays the wire protocol onto a Placer. One Server may serve
+// many connections; a mutex serializes every request (fleet methods are
+// not concurrent), so requests execute in arrival order.
+type Server struct {
+	mu sync.Mutex
+	p  Placer
+}
+
+// NewServer wraps a Placer for serving.
+func NewServer(p Placer) *Server { return &Server{p: p} }
+
+// Serve handles framed requests on one connection until EOF (clean
+// disconnect, returns nil) or a transport/framing error. Request
+// execution errors are returned to the client as opErr responses and do
+// not terminate the connection.
+func (s *Server) Serve(conn io.ReadWriter) error {
+	r := bufio.NewReaderSize(conn, 1<<16)
+	w := bufio.NewWriterSize(conn, 1<<16)
+	for {
+		payload, err := readFrame(r)
+		if err != nil {
+			if errors.Is(err, io.EOF) {
+				return nil
+			}
+			return err
+		}
+		resp := s.handle(payload)
+		if err := writeFrame(w, resp); err != nil {
+			return err
+		}
+		if err := w.Flush(); err != nil {
+			return err
+		}
+	}
+}
+
+// handle decodes one request, executes it under the server mutex and
+// encodes the response.
+func (s *Server) handle(payload []byte) []byte {
+	fail := func(err error) []byte {
+		var e enc
+		e.op(opErr)
+		e.str(err.Error())
+		return e.b
+	}
+	if len(payload) == 0 {
+		return fail(fmt.Errorf("%w: empty request", ErrMalformed))
+	}
+	op, d := payload[0], &dec{b: payload[1:]}
+	var e enc
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	switch op {
+	case opHello:
+		if err := d.done(); err != nil {
+			return fail(err)
+		}
+		in, err := s.p.Info()
+		if err != nil {
+			return fail(err)
+		}
+		e.op(opInfo)
+		e.info(in)
+	case opSubmit:
+		ti := d.int()
+		n := d.count(1)
+		specs := make([]fpga.TaskSpec, n)
+		for i := range specs {
+			specs[i] = d.taskSpec()
+		}
+		if err := d.done(); err != nil {
+			return fail(err)
+		}
+		placed, err := s.p.Submit(ti, specs)
+		if err != nil {
+			return fail(err)
+		}
+		e.op(opPlacements)
+		e.count(len(placed))
+		for i := range placed {
+			e.int(placed[i].Shard)
+			e.task(&placed[i].Task)
+		}
+	case opDrain:
+		if err := d.done(); err != nil {
+			return fail(err)
+		}
+		if err := s.p.Drain(); err != nil {
+			return fail(err)
+		}
+		e.op(opOK)
+	case opLoad:
+		if err := d.done(); err != nil {
+			return fail(err)
+		}
+		loads, err := s.p.Loads()
+		if err != nil {
+			return fail(err)
+		}
+		e.op(opLoads)
+		e.count(len(loads))
+		for i := range loads {
+			e.loadStats(&loads[i])
+		}
+	case opSnapshot:
+		i := d.int()
+		if err := d.done(); err != nil {
+			return fail(err)
+		}
+		snap, err := s.p.SnapshotShard(i)
+		if err != nil {
+			return fail(err)
+		}
+		e.op(opSnapData)
+		e.snapshot(snap)
+	case opRestore:
+		i := d.int()
+		snap := d.snapshot()
+		if err := d.done(); err != nil {
+			return fail(err)
+		}
+		if err := s.p.RestoreShard(i, snap); err != nil {
+			return fail(err)
+		}
+		e.op(opOK)
+	case opFinish:
+		if err := d.done(); err != nil {
+			return fail(err)
+		}
+		st, err := s.p.Finish()
+		if err != nil {
+			return fail(err)
+		}
+		e.op(opStats)
+		e.stats(st)
+	case opRestored:
+		if err := d.done(); err != nil {
+			return fail(err)
+		}
+		counts, err := s.p.Restored()
+		if err != nil {
+			return fail(err)
+		}
+		e.op(opCounts)
+		e.ints(counts)
+	default:
+		return fail(fmt.Errorf("%w: unknown opcode %d", ErrProtocol, op))
+	}
+	return e.b
+}
+
+// Client speaks the wire protocol over one connection and implements
+// Placer. Calls are synchronous (one request in flight); a Client is not
+// safe for concurrent use — open one connection per concurrent caller.
+type Client struct {
+	r *bufio.Reader
+	w *bufio.Writer
+	c io.Closer // nil when conn does not implement io.Closer
+}
+
+// NewClient wraps a connection. Close the Client (or the underlying
+// conn) when done; the daemon treats a closed connection as a clean
+// disconnect.
+func NewClient(conn io.ReadWriter) *Client {
+	c := &Client{
+		r: bufio.NewReaderSize(conn, 1<<16),
+		w: bufio.NewWriterSize(conn, 1<<16),
+	}
+	if cl, ok := conn.(io.Closer); ok {
+		c.c = cl
+	}
+	return c
+}
+
+// Close closes the underlying connection when it supports closing.
+func (c *Client) Close() error {
+	if c.c != nil {
+		return c.c.Close()
+	}
+	return nil
+}
+
+// call sends one request frame and decodes the response, mapping opErr
+// to a remote error and any other unexpected opcode to ErrProtocol.
+func (c *Client) call(req []byte, want byte) (*dec, error) {
+	if err := writeFrame(c.w, req); err != nil {
+		return nil, err
+	}
+	if err := c.w.Flush(); err != nil {
+		return nil, err
+	}
+	payload, err := readFrame(c.r)
+	if err != nil {
+		return nil, err
+	}
+	if len(payload) == 0 {
+		return nil, fmt.Errorf("%w: empty response", ErrMalformed)
+	}
+	d := &dec{b: payload[1:]}
+	switch payload[0] {
+	case want:
+		return d, nil
+	case opErr:
+		msg := d.str()
+		if err := d.done(); err != nil {
+			return nil, err
+		}
+		return nil, fmt.Errorf("service: remote: %s", msg)
+	}
+	return nil, fmt.Errorf("%w: opcode %d, want %d", ErrProtocol, payload[0], want)
+}
+
+func (c *Client) Info() (*Info, error) {
+	d, err := c.call([]byte{opHello}, opInfo)
+	if err != nil {
+		return nil, err
+	}
+	in := d.info()
+	if err := d.done(); err != nil {
+		return nil, err
+	}
+	return in, nil
+}
+
+func (c *Client) Submit(ti int, specs []fpga.TaskSpec) ([]fleet.Placement, error) {
+	var e enc
+	e.op(opSubmit)
+	e.int(ti)
+	e.count(len(specs))
+	for i := range specs {
+		e.taskSpec(&specs[i])
+	}
+	d, err := c.call(e.b, opPlacements)
+	if err != nil {
+		return nil, err
+	}
+	n := d.count(1)
+	var placed []fleet.Placement
+	if n > 0 {
+		placed = make([]fleet.Placement, n)
+		for i := range placed {
+			placed[i].Shard = d.int()
+			placed[i].Task = d.task()
+		}
+	}
+	if err := d.done(); err != nil {
+		return nil, err
+	}
+	return placed, nil
+}
+
+func (c *Client) Drain() error {
+	d, err := c.call([]byte{opDrain}, opOK)
+	if err != nil {
+		return err
+	}
+	return d.done()
+}
+
+func (c *Client) Loads() ([]fpga.LoadStats, error) {
+	d, err := c.call([]byte{opLoad}, opLoads)
+	if err != nil {
+		return nil, err
+	}
+	n := d.count(1)
+	loads := make([]fpga.LoadStats, n)
+	for i := range loads {
+		loads[i] = d.loadStats()
+	}
+	if err := d.done(); err != nil {
+		return nil, err
+	}
+	return loads, nil
+}
+
+func (c *Client) SnapshotShard(i int) (*fpga.Snapshot, error) {
+	var e enc
+	e.op(opSnapshot)
+	e.int(i)
+	d, err := c.call(e.b, opSnapData)
+	if err != nil {
+		return nil, err
+	}
+	snap := d.snapshot()
+	if err := d.done(); err != nil {
+		return nil, err
+	}
+	return snap, nil
+}
+
+func (c *Client) RestoreShard(i int, s *fpga.Snapshot) error {
+	var e enc
+	e.op(opRestore)
+	e.int(i)
+	e.snapshot(s)
+	d, err := c.call(e.b, opOK)
+	if err != nil {
+		return err
+	}
+	return d.done()
+}
+
+func (c *Client) Restored() ([]int, error) {
+	d, err := c.call([]byte{opRestored}, opCounts)
+	if err != nil {
+		return nil, err
+	}
+	counts := d.ints()
+	if err := d.done(); err != nil {
+		return nil, err
+	}
+	if counts == nil {
+		counts = []int{}
+	}
+	return counts, nil
+}
+
+func (c *Client) Finish() (*fleet.Stats, error) {
+	d, err := c.call([]byte{opFinish}, opStats)
+	if err != nil {
+		return nil, err
+	}
+	st := d.stats()
+	if err := d.done(); err != nil {
+		return nil, err
+	}
+	return st, nil
+}
+
+// SplitAddr parses the "network:address" endpoint syntax the front-ends
+// use: "unix:/path/to.sock" or "tcp:host:port".
+func SplitAddr(s string) (network, addr string, err error) {
+	network, addr, ok := strings.Cut(s, ":")
+	if !ok || addr == "" || (network != "unix" && network != "tcp") {
+		return "", "", fmt.Errorf("service: bad endpoint %q (want unix:/path or tcp:host:port)", s)
+	}
+	return network, addr, nil
+}
+
+var _ Placer = Local{}
+var _ Placer = (*Client)(nil)
