@@ -19,15 +19,18 @@ vet:
 	$(GO) vet ./...
 
 # The online scheduler, fault harness, fleet router, placement service,
-# experiment drivers and the release package (its Solver pool is hit
-# concurrently from RunGrid workers; TestSolverConcurrent fans out
-# goroutines) under the race detector. The experiments tests exercise
-# E13/E14/E15 with their default fan-outs, the fleet tests sweep worker
-# counts, and the service tests drive one Server from concurrent client
-# connections, so the shard pool and the request mutex run genuinely
-# concurrent under -race.
+# the placementd daemon's checkpoint wiring and the release package (its
+# Solver pool is hit concurrently from RunGrid workers;
+# TestSolverConcurrent fans out goroutines) under the race detector. The
+# experiments tests exercise E13/E14/E15 with their default fan-outs, the
+# fleet tests drive distinct tenant lanes from concurrent goroutines
+# (TestTenantLanesDisjoint), the service tests hammer fleet-wide reads
+# against per-tenant submissions across connections
+# (TestServiceLoadsSubmitRace), and the placementd tests run the periodic
+# checkpoint loop under concurrent tenant load, so the shard pool, the
+# lane locks and the checkpointer run genuinely concurrent under -race.
 race:
-	$(GO) test -race ./internal/fpga ./internal/faultinject ./internal/fleet ./internal/service ./internal/experiments ./internal/core/release
+	$(GO) test -race ./internal/fpga ./internal/faultinject ./internal/fleet ./internal/service ./internal/experiments ./internal/core/release ./cmd/placementd
 
 ci: build vet test race determinism
 
@@ -39,7 +42,7 @@ bench-smoke:
 # Full measurement run recorded as JSON (see cmd/benchjson). Bump the
 # output name when recording a new trajectory point:
 #   make bench-record BENCH_OUT=BENCH_6.json
-BENCH_OUT ?= BENCH_8.json
+BENCH_OUT ?= BENCH_9.json
 bench-record:
 	$(GO) run ./cmd/benchjson -out $(BENCH_OUT) -bench . -benchtime 2s
 
@@ -70,9 +73,17 @@ fuzz:
 # -fleet-workers 1 vs 8, for both a load-blind and a load-aware -route;
 # and the same harness driving a loopback placementd daemon over its
 # unix socket (-connect) must reproduce the in-process output — summary
-# and canonical-snapshot hash — byte for byte, for both routes. Runs in
-# a private temp dir so concurrent invocations on a shared host cannot
-# clobber each other.
+# and canonical-snapshot hash — byte for byte, for both routes.
+#
+# Two tenant-layer contracts follow: an -all-tenants run driving three
+# tenants concurrently (distinct lanes, one connection per tenant) must
+# produce per-tenant summary lines (meter + tenant-range snapshot hash)
+# byte-identical to serial runs driving each tenant alone; and a daemon
+# killed mid-churn by -exit-after (hard exit right after a durable
+# checkpoint), restarted with -recover and replayed via -resume must
+# produce the complete summary — stats AND snapshot sha256 — byte
+# identical to an uninterrupted daemon run. Runs in a private temp dir
+# so concurrent invocations on a shared host cannot clobber each other.
 determinism:
 	@dir=$$(mktemp -d) && trap 'rm -rf "$$dir"' EXIT && \
 	$(GO) build -o $$dir/experiments ./cmd/experiments && \
@@ -98,4 +109,29 @@ determinism:
 		kill -TERM $$pd && wait $$pd; \
 		cmp $$dir/fleet-$$route-serial.txt $$dir/fleet-$$route-daemon.txt || exit 1; \
 	done && \
-	echo "determinism: tables and fleet harness byte-identical across every worker flag and the daemon path"
+	TN="alpha:2:rr,beta:2:least,gamma:2:p2c" && \
+	MT="-shards 6 -k 8 -tenants $$TN -seed 9 -n 200000 -chunk 1024" && \
+	$$dir/fleetload $$MT -all-tenants > $$dir/mt-all.txt && \
+	$$dir/fleetload $$MT -tenant beta > $$dir/mt-beta.txt && \
+	$$dir/fleetload $$MT -tenant gamma > $$dir/mt-gamma.txt && \
+	grep '^tenant beta ' $$dir/mt-all.txt > $$dir/mt-all-beta.txt && \
+	grep '^tenant beta ' $$dir/mt-beta.txt > $$dir/mt-one-beta.txt && \
+	cmp $$dir/mt-all-beta.txt $$dir/mt-one-beta.txt && \
+	grep '^tenant gamma ' $$dir/mt-all.txt > $$dir/mt-all-gamma.txt && \
+	grep '^tenant gamma ' $$dir/mt-gamma.txt > $$dir/mt-one-gamma.txt && \
+	cmp $$dir/mt-all-gamma.txt $$dir/mt-one-gamma.txt && \
+	( mkdir $$dir/ckpt; \
+	  $$dir/placementd -listen unix:$$dir/kr.sock -shards 6 -k 8 -tenants $$TN -seed 9 2>/dev/null & pd=$$!; \
+	  sleep 0.3; \
+	  $$dir/fleetload -connect unix:$$dir/kr.sock $$MT > $$dir/kr-ref.txt 2>/dev/null || exit 1; \
+	  kill -TERM $$pd; wait $$pd; \
+	  $$dir/placementd -listen unix:$$dir/kr.sock -shards 6 -k 8 -tenants $$TN -seed 9 -checkpoint-dir $$dir/ckpt -exit-after 100 >/dev/null 2>&1 & pd=$$!; \
+	  sleep 0.3; \
+	  $$dir/fleetload -connect unix:$$dir/kr.sock $$MT -retries 1 >/dev/null 2>&1; \
+	  wait $$pd; \
+	  $$dir/placementd -listen unix:$$dir/kr.sock -shards 6 -k 8 -tenants $$TN -seed 9 -checkpoint-dir $$dir/ckpt -recover 2>/dev/null & pd=$$!; \
+	  sleep 0.3; \
+	  $$dir/fleetload -connect unix:$$dir/kr.sock $$MT -resume > $$dir/kr-replay.txt 2>/dev/null || exit 1; \
+	  kill -TERM $$pd; wait $$pd; \
+	  cmp $$dir/kr-ref.txt $$dir/kr-replay.txt ) && \
+	echo "determinism: tables, fleet harness, tenant lanes and daemon kill+recover+replay all byte-identical"

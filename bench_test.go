@@ -12,8 +12,10 @@ import (
 	"io"
 	"math/rand"
 	"net"
+	"path/filepath"
 	"runtime"
 	"sort"
+	"sync"
 	"testing"
 	"time"
 
@@ -693,6 +695,121 @@ func BenchmarkServiceSubmitLoopback100k(b *testing.B) {
 	sort.Float64s(perTask)
 	b.ReportMetric(perTask[len(perTask)/2], "p50-ns/task")
 	b.ReportMetric(perTask[len(perTask)*99/100], "p99-ns/task")
+	b.ReportMetric(shards, "shards")
+}
+
+// BenchmarkServiceTenantParallel is the loopback benchmark's workload
+// split across four tenant lanes driven concurrently — one connection,
+// stream and goroutine per tenant against a single lane-locked Server.
+// The speedup over BenchmarkServiceSubmitLoopback100k tracks available
+// parallelism: num_cpu is reported so a flat result on a single-core
+// runner is self-explaining rather than a regression.
+func BenchmarkServiceTenantParallel(b *testing.B) {
+	const (
+		K       = 16
+		tenants = 4
+		perT    = 16 // shards per tenant
+		n       = 25_000
+		chunk   = 1024
+	)
+	tn := make([]fleet.Tenant, tenants)
+	for ti := range tn {
+		tn[ti] = fleet.Tenant{Name: string(rune('a' + ti)), Shards: perT, Route: fleet.RouteLeast}
+	}
+	traces := make([][]workload.ChurnTask, tenants)
+	for ti := range traces {
+		tr, err := workload.Churn(rand.New(rand.NewSource(29+int64(ti))), n, K, 0.8*perT, 0.3)
+		if err != nil {
+			b.Fatal(err)
+		}
+		traces[ti] = tr
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	var busy time.Duration
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		f, err := fleet.New(fleet.Config{
+			Shards: tenants * perT, Columns: K, Policy: fpga.ReclaimCompact,
+			Admission: fpga.AdmissionConfig{Policy: fpga.AdmitShed, MaxBacklog: 64},
+			Tenants:   tn, Seed: 29,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		srv := service.NewServer(service.Local{Fleet: f})
+		b.StartTimer()
+		t0 := time.Now()
+		var wg sync.WaitGroup
+		for ti := 0; ti < tenants; ti++ {
+			cc, sc := net.Pipe()
+			go srv.Serve(sc)
+			client := service.NewClient(cc)
+			wg.Add(1)
+			go func(ti int, c *service.Client) {
+				defer wg.Done()
+				defer c.Close()
+				for off := 0; off < n; off += chunk {
+					end := min(off+chunk, n)
+					if _, err := c.Submit(ti, fleet.Specs(traces[ti][off:end], ti*n+off)); err != nil {
+						b.Error(err)
+						return
+					}
+				}
+			}(ti, client)
+		}
+		wg.Wait()
+		busy += time.Since(t0)
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(n*tenants)*float64(b.N)/busy.Seconds(), "tasks/s")
+	b.ReportMetric(tenants, "tenants")
+	b.ReportMetric(float64(runtime.NumCPU()), "num_cpu")
+}
+
+// BenchmarkCheckpoint64Shards measures one durable checkpoint — capture,
+// deterministic encode, sha256, atomic temp+rename write — of a 64-shard
+// fleet carrying a 100k-task churn history: the pause placementd's
+// periodic checkpoint inflicts at a batch barrier.
+func BenchmarkCheckpoint64Shards(b *testing.B) {
+	const (
+		K      = 16
+		shards = 64
+		n      = 100_000
+	)
+	f, err := fleet.New(fleet.Config{
+		Shards: shards, Columns: K, Policy: fpga.ReclaimCompact,
+		Admission: fpga.AdmissionConfig{Policy: fpga.AdmitShed, MaxBacklog: 64},
+		Route:     fleet.RouteLeast, Seed: 29,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	tasks, err := workload.Churn(rand.New(rand.NewSource(29)), n, K, 0.8*shards, 0.3)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for base := 0; base < n; base += 1024 {
+		if _, err := f.SubmitBatch(fleet.Specs(tasks[base:min(base+1024, n)], base)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	path := filepath.Join(b.TempDir(), "checkpoint.ckpt")
+	b.ReportAllocs()
+	b.ResetTimer()
+	var bytes int
+	for i := 0; i < b.N; i++ {
+		ck, err := service.CaptureCheckpoint(f, 1, uint64(i+1))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := service.WriteCheckpoint(path, ck); err != nil {
+			b.Fatal(err)
+		}
+		bytes = len(service.EncodeCheckpoint(ck))
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(bytes), "bytes")
 	b.ReportMetric(shards, "shards")
 }
 

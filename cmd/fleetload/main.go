@@ -5,13 +5,29 @@
 //
 //	fleetload -n 1000000 -shards 64 -k 16 -route least
 //	fleetload -connect unix:/tmp/placementd.sock -n 1000000 ...
+//	fleetload -tenants alpha:2:rr,beta:2:least -all-tenants ...
 //
 // The harness drives a service.Placer, so the same pipeline runs against
 // an in-process fleet or a placementd daemon (-connect). In daemon mode
 // the fleet-shape flags describe the daemon the client expects: the
 // opHello handshake verifies them against the daemon's actual shape
 // (everything that affects results except -fleet-workers) and refuses to
-// run on a mismatch, so a summary always means what the flags say.
+// run on a mismatch, so a summary always means what the flags say. The
+// connection reconnects with capped exponential backoff; if the daemon
+// restarts at a new epoch mid-stream (recovering a checkpoint), the
+// harness resynchronizes from the daemon's per-tenant submitted meter —
+// rewinding its deterministic stream to exactly where the recovered
+// fleet left off — instead of double-submitting. -resume applies the
+// same meter synchronization at startup, which is how a run continues a
+// stream across a daemon kill+recover.
+//
+// Tenant ti's stream is generated from seed+ti with task IDs based at
+// ti*n, so every tenant's trace is a pure function of the flags and the
+// tenant index — the same whether tenants run one at a time (-tenant)
+// or all concurrently (-all-tenants, one goroutine and connection per
+// tenant). The per-tenant summary lines are therefore byte-identical
+// between a concurrent all-tenants run and serial single-tenant runs,
+// which `make determinism` enforces.
 //
 // The default output is deterministic — a pure function of every flag
 // except -fleet-workers and the transport — which is what lets
@@ -19,20 +35,25 @@
 // in-process/daemon paths byte for byte. The `snapshots sha256` line
 // hashes every shard's canonical wire-encoded snapshot, extending the
 // byte-identical claim from the aggregate stats to the full final fleet
-// state. -timing adds wall-clock throughput, placement-latency
+// state; the `tenant <name> ...` lines surface each driven tenant's
+// meter (submitted/placed/refused/col-time) and the hash of its own
+// shard range. -timing adds wall-clock throughput, placement-latency
 // percentiles, and per-shard shed/rejected/restored counters; those lines
 // are (or may be) non-deterministic and are what `make bench` records.
 package main
 
 import (
 	"crypto/sha256"
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"math/rand"
 	"net"
 	"os"
 	"reflect"
 	"sort"
+	"sync"
 	"time"
 
 	"strippack/internal/fleet"
@@ -51,14 +72,15 @@ usage: fleetload [flags]
 }
 
 func main() {
-	n := flag.Int("n", 1_000_000, "number of tasks to stream")
+	n := flag.Int("n", 1_000_000, "number of tasks to stream per driven tenant")
 	shards := flag.Int("shards", 64, "number of scheduler shards")
 	k := flag.Int("k", 16, "columns per shard")
 	shardCols := flag.String("shard-cols", "", "per-shard columns, e.g. 8,8,32,32 (overrides -k)")
 	delay := flag.Float64("reconfig", 0, "per-task reconfiguration delay")
 	routeName := flag.String("route", "least", "placement route: rr, least, or p2c")
-	tenants := flag.String("tenants", "", "tenant groups, e.g. alpha:4:rr,beta:60 (empty = one tenant)")
+	tenants := flag.String("tenants", "", "tenant groups, e.g. alpha:4:rr:1024:8,beta:60 (empty = one tenant)")
 	tenant := flag.String("tenant", "", "tenant to drive (empty = first tenant)")
+	allTenants := flag.Bool("all-tenants", false, "drive every tenant concurrently (one stream, goroutine and connection per tenant)")
 	workers := flag.Int("fleet-workers", 0, "parallel shard workers (0 = GOMAXPROCS); never affects results")
 	chunk := flag.Int("chunk", 1024, "tasks per pipelined batch")
 	wl := flag.String("workload", "churn", "trace shape: churn or burst")
@@ -70,8 +92,10 @@ func main() {
 	policyName := flag.String("policy", "compact", "completion policy: none, reclaim, or compact")
 	admissionName := flag.String("admission", "shed", "admission policy: unbounded, reject, or shed")
 	backlog := flag.Int("backlog", 64, "per-shard backlog bound for reject/shed")
-	seed := flag.Int64("seed", 1, "workload and p2c rng seed")
+	seed := flag.Int64("seed", 1, "workload and p2c rng seed (tenant ti streams from seed+ti)")
 	connect := flag.String("connect", "", "drive a placementd daemon at unix:/path or tcp:host:port instead of an in-process fleet")
+	retries := flag.Int("retries", 8, "connection attempts per (re)connect in daemon mode")
+	resume := flag.Bool("resume", false, "start each driven tenant's stream at the daemon's submitted meter (continue after a daemon kill+recover)")
 	timing := flag.Bool("timing", false, "report wall-clock throughput, latency percentiles and per-shard counters")
 	flag.Usage = usage
 	flag.Parse()
@@ -81,31 +105,89 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	if *allTenants && *tenant != "" {
+		fatal(errors.New("-all-tenants and -tenant are mutually exclusive"))
+	}
 
-	placer, ti, err := dial(cfg, *connect, *tenant)
+	placer, err := dialPlacer(cfg, *connect, *retries)
+	if err != nil {
+		fatal(err)
+	}
+	info, err := placer.Info()
 	if err != nil {
 		fatal(err)
 	}
 
 	// The stream offers load*shards against one shard's K columns: the
 	// fleet-wide offered load per shard is then *load, while each task
-	// still fits a single K-column device.
-	rng := rand.New(rand.NewSource(*seed))
-	var stream *workload.Stream
-	switch *wl {
-	case "churn":
-		stream, err = workload.ChurnStream(rng, *n, *k, *load*float64(*shards), *shrink)
-	case "burst":
-		stream, err = workload.BurstStream(rng, *n, *k,
-			*load*float64(*shards), *burstLoad*float64(*shards), *shrink, *period, *duty)
-	default:
-		err = fmt.Errorf("unknown workload %q (want churn or burst)", *wl)
-	}
-	if err != nil {
-		fatal(err)
+	// still fits a single K-column device. Tenant ti streams from
+	// seed+ti, so concurrent tenants generate independently and a
+	// single-tenant rerun of any one of them reproduces its exact trace.
+	makeStream := func(ti int) (*workload.Stream, error) {
+		rng := rand.New(rand.NewSource(*seed + int64(ti)))
+		switch *wl {
+		case "churn":
+			return workload.ChurnStream(rng, *n, *k, *load*float64(*shards), *shrink)
+		case "burst":
+			return workload.BurstStream(rng, *n, *k,
+				*load*float64(*shards), *burstLoad*float64(*shards), *shrink, *period, *duty)
+		}
+		return nil, fmt.Errorf("unknown workload %q (want churn or burst)", *wl)
 	}
 
-	st, tm, err := run(placer, ti, stream, *chunk)
+	var driven []int
+	tms := make(map[int]*timings)
+	if *allTenants {
+		for ti := range info.Tenants {
+			driven = append(driven, ti)
+		}
+		var wg sync.WaitGroup
+		var mu sync.Mutex
+		errs := make([]error, len(driven))
+		for _, ti := range driven {
+			p := placer
+			if *connect != "" {
+				// One connection per tenant: a Client is single-request,
+				// and per-tenant connections let the daemon's lanes run
+				// the submissions concurrently.
+				c, err := dialClient(*connect, *retries)
+				if err != nil {
+					fatal(err)
+				}
+				p = c
+			}
+			wg.Add(1)
+			go func(ti int, p service.Placer) {
+				defer wg.Done()
+				tm, err := driveTenant(p, ti, *n, makeStream, *chunk, *resume)
+				mu.Lock()
+				tms[ti], errs[ti] = tm, err
+				mu.Unlock()
+				if c, ok := p.(*service.Client); ok && p != placer {
+					c.Close()
+				}
+			}(ti, p)
+		}
+		wg.Wait()
+		for _, err := range errs {
+			if err != nil {
+				fatal(err)
+			}
+		}
+	} else {
+		ti, err := resolveTenant(info, *tenant)
+		if err != nil {
+			fatal(err)
+		}
+		driven = []int{ti}
+		tm, err := driveTenant(placer, ti, *n, makeStream, *chunk, *resume)
+		if err != nil {
+			fatal(err)
+		}
+		tms[ti] = tm
+	}
+
+	st, err := placer.Finish()
 	if err != nil {
 		fatal(err)
 	}
@@ -134,19 +216,44 @@ func main() {
 	// Hash every shard's canonical snapshot (wire encoding, deterministic
 	// bytes): the line is byte-identical across worker counts and across
 	// the in-process/daemon paths iff the full final fleet state is.
+	snaps := make([][]byte, st.Shards)
 	h := sha256.New()
 	for i := 0; i < st.Shards; i++ {
 		snap, err := placer.SnapshotShard(i)
 		if err != nil {
 			fatal(err)
 		}
-		h.Write(service.EncodeSnapshot(snap))
+		snaps[i] = service.EncodeSnapshot(snap)
+		h.Write(snaps[i])
 	}
 	fmt.Printf("snapshots sha256 %x\n", h.Sum(nil))
 
+	// Per-tenant summary: the meter and the hash of the tenant's own
+	// shard range. Each driven tenant's lines depend only on its trace
+	// and the config, so they are byte-identical between -all-tenants
+	// and a serial run driving just that tenant.
+	final, err := placer.Info()
+	if err != nil {
+		fatal(err)
+	}
+	for _, ti := range driven {
+		tn := final.Tenants[ti]
+		m := final.Meters[ti]
+		fmt.Printf("tenant %s submitted %d placed %d refused %d col-time %.4f\n",
+			tn.Name, m.Submitted, m.Placed, m.Refused, m.ColTime)
+		th := sha256.New()
+		for i := tn.First; i < tn.First+tn.Count; i++ {
+			th.Write(snaps[i])
+		}
+		fmt.Printf("tenant %s snapshots sha256 %x\n", tn.Name, th.Sum(nil))
+	}
+
 	if *timing {
-		fmt.Printf("sustained %.0f tasks/s  p50 %d ns/task  p99 %d ns/task  wall %s\n",
-			tm.rate, tm.p50, tm.p99, tm.wall.Round(time.Millisecond))
+		for _, ti := range driven {
+			tm := tms[ti]
+			fmt.Printf("tenant %s sustained %.0f tasks/s  p50 %d ns/task  p99 %d ns/task  wall %s\n",
+				final.Tenants[ti].Name, tm.rate, tm.p50, tm.p99, tm.wall.Round(time.Millisecond))
+		}
 		restored, err := placer.Restored()
 		if err != nil {
 			fatal(err)
@@ -205,54 +312,62 @@ func buildConfig(shards, k int, shardCols string, delay float64, policyName,
 	}, nil
 }
 
-// dial returns the Placer to drive — an in-process fleet, or a client to
-// a placementd daemon whose shape is verified against cfg via the
-// opHello handshake — plus the index of the tenant to submit to.
-func dial(cfg fleet.Config, connect, tenant string) (service.Placer, int, error) {
+// dialClient opens one reconnecting connection to a placementd daemon.
+func dialClient(connect string, retries int) (*service.Client, error) {
+	network, addr, err := service.SplitAddr(connect)
+	if err != nil {
+		return nil, err
+	}
+	return service.Dial(func() (io.ReadWriter, error) {
+		conn, err := net.Dial(network, addr)
+		if err != nil {
+			return nil, err
+		}
+		return conn, nil
+	}, service.RetryConfig{Attempts: retries})
+}
+
+// dialPlacer returns the primary Placer to drive — an in-process fleet,
+// or a reconnecting client to a placementd daemon whose shape is
+// verified against cfg via the opHello handshake.
+func dialPlacer(cfg fleet.Config, connect string, retries int) (service.Placer, error) {
 	if connect == "" {
 		f, err := fleet.New(cfg)
 		if err != nil {
-			return nil, 0, err
+			return nil, err
 		}
-		p := service.Local{Fleet: f}
-		ti, err := resolveTenant(p, tenant)
-		return p, ti, err
+		return service.Local{Fleet: f}, nil
 	}
-	network, addr, err := service.SplitAddr(connect)
+	client, err := dialClient(connect, retries)
 	if err != nil {
-		return nil, 0, err
+		return nil, err
 	}
-	conn, err := net.Dial(network, addr)
-	if err != nil {
-		return nil, 0, err
-	}
-	client := service.NewClient(conn)
 	got, err := client.Info()
 	if err != nil {
-		return nil, 0, err
+		return nil, err
 	}
 	// The expected shape is what an in-process fleet with these flags
 	// would report; building one guarantees the comparison tracks the
 	// fleet's own resolution rules (implicit tenant, ShardCols, ...).
+	// Shape() strips the live half of the handshake (epoch, meters): a
+	// recovered daemon is still the same fleet.
 	ref, err := fleet.New(cfg)
 	if err != nil {
-		return nil, 0, err
+		return nil, err
 	}
 	want, _ := service.Local{Fleet: ref}.Info()
-	if !reflect.DeepEqual(got, want) {
-		return nil, 0, fmt.Errorf("daemon at %s does not match the flags: it runs %+v, flags say %+v", connect, got, want)
+	if !reflect.DeepEqual(got.Shape(), want.Shape()) {
+		return nil, fmt.Errorf("daemon at %s does not match the flags: it runs %+v, flags say %+v", connect, got.Shape(), want.Shape())
 	}
-	ti, err := resolveTenant(client, tenant)
-	return client, ti, err
+	if got.Epoch > 1 {
+		fmt.Fprintf(os.Stderr, "fleetload: daemon serving epoch %d (recovered)\n", got.Epoch)
+	}
+	return client, nil
 }
 
-func resolveTenant(p service.Placer, tenant string) (int, error) {
+func resolveTenant(in *service.Info, tenant string) (int, error) {
 	if tenant == "" {
 		return 0, nil
-	}
-	in, err := p.Info()
-	if err != nil {
-		return 0, err
 	}
 	for i, t := range in.Tenants {
 		if t.Name == tenant {
@@ -262,6 +377,75 @@ func resolveTenant(p service.Placer, tenant string) (int, error) {
 	return 0, fmt.Errorf("no tenant %q (have %d tenants)", tenant, len(in.Tenants))
 }
 
+// maxResyncs bounds how many daemon restarts one run will ride out.
+const maxResyncs = 3
+
+// driveTenant streams tenant ti's deterministic trace into p. With
+// resume, and again after every ErrEpochChanged/ErrInterrupted from a
+// daemon restart, the stream position is synchronized to the daemon's
+// per-tenant submitted meter: the meter counts every task that entered
+// the tenant's lane (placed or refused), so when this harness is the
+// tenant's sole driver it equals the stream offset of the first task
+// the recovered fleet has not seen.
+func driveTenant(p service.Placer, ti, n int, makeStream func(int) (*workload.Stream, error),
+	chunk int, resume bool) (*timings, error) {
+	offset := 0
+	if resume {
+		in, err := p.Info()
+		if err != nil {
+			return nil, err
+		}
+		if ti >= len(in.Meters) {
+			return nil, fmt.Errorf("tenant %d out of range (daemon has %d)", ti, len(in.Meters))
+		}
+		offset = in.Meters[ti].Submitted
+		if offset > 0 {
+			fmt.Fprintf(os.Stderr, "fleetload: tenant %d resuming at task %d\n", ti, offset)
+		}
+	}
+	for resyncs := 0; ; resyncs++ {
+		stream, err := makeStream(ti)
+		if err != nil {
+			return nil, err
+		}
+		if offset > n {
+			offset = n
+		}
+		skipTasks(stream, offset)
+		tm, err := streamInto(p, ti, stream, chunk, ti*n+offset)
+		if err == nil {
+			return tm, nil
+		}
+		c, ok := p.(*service.Client)
+		if !ok || resyncs == maxResyncs ||
+			(!errors.Is(err, service.ErrEpochChanged) && !errors.Is(err, service.ErrInterrupted)) {
+			return nil, err
+		}
+		in, ierr := c.Info()
+		if ierr != nil {
+			return nil, fmt.Errorf("resynchronizing after %q: %w", err, ierr)
+		}
+		offset = in.Meters[ti].Submitted
+		c.Rebase()
+		fmt.Fprintf(os.Stderr, "fleetload: tenant %d: %v; resynchronized at task %d (epoch %d)\n",
+			ti, err, offset, c.Epoch())
+	}
+}
+
+// skipTasks advances a fresh stream past its first k tasks (generation
+// is per-task, so the remaining trace is independent of how it is
+// chunked or skipped).
+func skipTasks(stream *workload.Stream, k int) {
+	buf := make([]workload.ChurnTask, 4096)
+	for k > 0 {
+		m := stream.NextChunk(buf[:min(len(buf), k)])
+		if m == 0 {
+			return
+		}
+		k -= m
+	}
+}
+
 type timings struct {
 	rate float64 // sustained submissions/sec over the placement stage
 	p50  int64   // per-task placement latency percentiles, ns
@@ -269,14 +453,14 @@ type timings struct {
 	wall time.Duration
 }
 
-// run drives the three-stage pipeline: a generator goroutine draining the
-// stream into chunk buffers, the placement stage routing each chunk
-// through the Placer, and an aggregator goroutine folding per-chunk
-// samples. The channels are bounded (4 chunks in flight), so memory is
-// O(chunk), not O(n).
-func run(p service.Placer, ti int, stream *workload.Stream, chunk int) (*fleet.Stats, *timings, error) {
+// streamInto drives the three-stage pipeline: a generator goroutine
+// draining the stream into chunk buffers, the placement stage routing
+// each chunk through the Placer, and an aggregator goroutine folding
+// per-chunk samples. The channels are bounded (4 chunks in flight), so
+// memory is O(chunk), not O(n). Task IDs start at base.
+func streamInto(p service.Placer, ti int, stream *workload.Stream, chunk, base int) (*timings, error) {
 	if chunk < 1 {
-		return nil, nil, fmt.Errorf("chunk must be >= 1, got %d", chunk)
+		return nil, fmt.Errorf("chunk must be >= 1, got %d", chunk)
 	}
 	type chunkSample struct {
 		tasks   int
@@ -284,6 +468,8 @@ func run(p service.Placer, ti int, stream *workload.Stream, chunk int) (*fleet.S
 	}
 	chunks := make(chan []workload.ChurnTask, 4)
 	samples := make(chan chunkSample, 4)
+	quit := make(chan struct{})
+	defer close(quit)
 
 	go func() { // generation stage
 		defer close(chunks)
@@ -293,7 +479,11 @@ func run(p service.Placer, ti int, stream *workload.Stream, chunk int) (*fleet.S
 			if m == 0 {
 				return
 			}
-			chunks <- buf[:m]
+			select {
+			case chunks <- buf[:m]:
+			case <-quit: // placement aborted; stop generating
+				return
+			}
 		}
 	}()
 
@@ -318,24 +508,19 @@ func run(p service.Placer, ti int, stream *workload.Stream, chunk int) (*fleet.S
 		tmCh <- tm
 	}()
 
-	base := 0
 	for tasks := range chunks { // placement stage
 		t0 := time.Now()
 		if _, err := p.Submit(ti, fleet.Specs(tasks, base)); err != nil {
 			close(samples)
-			return nil, nil, err
+			<-tmCh
+			return nil, err
 		}
 		samples <- chunkSample{tasks: len(tasks), elapsed: time.Since(t0)}
 		base += len(tasks)
 	}
 	close(samples)
 	tm := <-tmCh
-
-	st, err := p.Finish()
-	if err != nil {
-		return nil, nil, err
-	}
-	return st, &tm, nil
+	return &tm, nil
 }
 
 func fatal(err error) {

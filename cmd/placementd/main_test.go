@@ -1,0 +1,134 @@
+package main
+
+import (
+	"net"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"strippack/internal/fleet"
+	"strippack/internal/fpga"
+	"strippack/internal/service"
+)
+
+func daemonConfig() fleet.Config {
+	return fleet.Config{
+		Shards: 6, Columns: 8, Policy: fpga.ReclaimCompact,
+		Admission: fpga.AdmissionConfig{Policy: fpga.AdmitShed, MaxBacklog: 16},
+		Tenants: []fleet.Tenant{
+			{Name: "alpha", Shards: 2, Route: fleet.RouteRR},
+			{Name: "beta", Shards: 2, Route: fleet.RouteLeast},
+			{Name: "gamma", Shards: 2, Route: fleet.RouteP2C},
+		},
+		Seed: 5,
+	}
+}
+
+// TestCheckpointLoopUnderLoad drives the daemon's exact production
+// wiring — installHooks with a periodic trigger — from three concurrent
+// tenant connections (make race runs this), then recovers the final
+// checkpoint and checks it captured a consistent fleet.
+func TestCheckpointLoopUnderLoad(t *testing.T) {
+	cfg := daemonConfig()
+	f, err := fleet.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "checkpoint.ckpt")
+	srv := service.NewServer(service.Local{Fleet: f})
+	cp := &checkpointer{f: f, path: path, epoch: 1}
+	installHooks(srv, cp, 25, 0, func(total, seq uint64) {
+		t.Errorf("exit hook fired with -exit-after 0 (total %d)", total)
+	})
+
+	const perTenant = 200
+	var wg sync.WaitGroup
+	for ti := 0; ti < 3; ti++ {
+		cc, sc := net.Pipe()
+		go srv.Serve(sc)
+		c := service.NewClient(cc)
+		wg.Add(1)
+		go func(ti int, c *service.Client) {
+			defer wg.Done()
+			defer c.Close()
+			for j := 0; j < perTenant; j++ {
+				id := ti*100000 + j
+				if _, err := c.Submit(ti, []fpga.TaskSpec{{ID: id, Cols: 1 + j%4, Duration: 1 + float64(j%3)}}); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(ti, c)
+	}
+	wg.Wait()
+
+	// The graceful-shutdown path: one final checkpoint at the barrier.
+	finalSeq, err := cp.write()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 600 submit frames fired 24 periodic checkpoints, plus this one.
+	if finalSeq != 25 {
+		t.Fatalf("final checkpoint seq %d, want 25", finalSeq)
+	}
+
+	rf, ck, err := service.Recover(path, cfg, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ck.Epoch != 1 || ck.Seq != finalSeq {
+		t.Fatalf("recovered epoch %d seq %d, want 1 %d", ck.Epoch, ck.Seq, finalSeq)
+	}
+	for ti, m := range rf.Meters() {
+		if m.Submitted != perTenant {
+			t.Fatalf("tenant %d recovered meter %+v, want %d submitted", ti, m, perTenant)
+		}
+	}
+	if _, err := rf.Finish(); err != nil {
+		t.Fatalf("recovered fleet fails verification: %v", err)
+	}
+}
+
+// TestExitAfterHook: the crash-simulation hook fires exactly once, after
+// exactly N submit frames, having already written the checkpoint the
+// restart will recover.
+func TestExitAfterHook(t *testing.T) {
+	cfg := daemonConfig()
+	f, err := fleet.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "checkpoint.ckpt")
+	srv := service.NewServer(service.Local{Fleet: f})
+	cp := &checkpointer{f: f, path: path, epoch: 1}
+	var fired []uint64
+	installHooks(srv, cp, 0, 10, func(total, seq uint64) {
+		fired = append(fired, total, seq)
+	})
+
+	cc, sc := net.Pipe()
+	go srv.Serve(sc)
+	c := service.NewClient(cc)
+	defer c.Close()
+	// The stub exit does not actually kill the daemon, so frames past N
+	// keep mutating the fleet; the checkpoint must still be the state at
+	// exactly N.
+	for j := 0; j < 15; j++ {
+		if _, err := c.Submit(0, []fpga.TaskSpec{{ID: j, Cols: 1 + j%4, Duration: 1}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if len(fired) != 2 || fired[0] != 10 || fired[1] != 1 {
+		t.Fatalf("exit hook fired with %v, want [10 1]", fired)
+	}
+	rf, ck, err := service.Recover(path, cfg, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ck.Seq != 1 {
+		t.Fatalf("checkpoint seq %d, want 1", ck.Seq)
+	}
+	if m := rf.Meters()[0]; m.Submitted != 10 {
+		t.Fatalf("checkpoint captured %d submits, want 10", m.Submitted)
+	}
+}

@@ -9,6 +9,17 @@
 // one implicit tenant spanning every shard, which reproduces the
 // historical single-group behavior exactly.
 //
+// Every piece of mutable routing state — the round-robin cursor, the p2c
+// rng, the drain-time score vector, the sub-batch scratch, the metering
+// counters — lives in the tenant's lane, never on the Fleet. That makes
+// the tenant the concurrency unit: SubmitBatchTenant, DrainTenant and
+// TenantLoads for distinct tenants may run concurrently from different
+// goroutines with zero shared mutable state (TestTenantLanesDisjoint
+// pins this under -race). Fleet-wide operations — Drain, Finish, Loads
+// over all shards, RestoreShard, Config mutation — require exclusive
+// access: no lane may be active while they run. The service layer's
+// lane locks enforce exactly this discipline.
+//
 // Determinism contract: every routing decision is made in a single
 // sequential pass over the batch, before any shard work runs. Round-robin
 // advances a per-tenant cursor; least-loaded compares deterministic
@@ -20,19 +31,25 @@
 // whole batch is routed do the per-shard SubmitBatch calls run — on up to
 // Workers goroutines, but over disjoint shards, joined at a barrier — and
 // placements and stats are always merged in shard-index order. Results
-// are therefore a pure function of (Config minus Workers, submission
-// sequence): byte-identical for any worker count, which `make
-// determinism` pins by diffing fleetload output at -fleet-workers 1 vs 8.
+// are therefore a pure function of (Config minus Workers, per-tenant
+// submission sequence): byte-identical for any worker count AND for any
+// wall-clock interleaving of distinct tenants' submissions, which `make
+// determinism` pins by diffing fleetload output at -fleet-workers 1 vs 8
+// and multi-tenant-concurrent vs single-tenant-serial runs.
 //
 // Failover rides the same contract: SnapshotShard captures a shard's
 // canonical fpga.Snapshot and RestoreShard swaps a freshly restored
-// scheduler into the slot between batch barriers. Because snapshots are
+// scheduler into the slot between batch barriers; LaneState/RestoreLane
+// do the same for the lane's routing state (cursor, rng position,
+// meters), which is what lets a daemon checkpoint and recover a whole
+// fleet byte-identically (see internal/service). Because snapshots are
 // canonical and load scores are barrier-refreshed from shard state, a
 // crash+restore at a batch boundary continues byte-identically to the
 // uninterrupted run (see DESIGN.md).
 package fleet
 
 import (
+	"errors"
 	"fmt"
 	"math/rand"
 	"runtime"
@@ -86,6 +103,18 @@ func ParseRoute(s string) (Route, error) {
 	return 0, fmt.Errorf("fleet: unknown route %q (want rr, least or p2c)", s)
 }
 
+// Quota errors. Both are returned before any routing or shard work runs,
+// so a refused batch leaves the lane's shards untouched; the refusal is
+// recorded in the lane's Meter.
+var (
+	// ErrQuotaTaskCols marks a batch containing a task wider than the
+	// tenant's MaxTaskCols quota.
+	ErrQuotaTaskCols = errors.New("fleet: task exceeds tenant MaxTaskCols quota")
+	// ErrQuotaBacklog marks a batch refused because the tenant's total
+	// waiting backlog has reached its MaxBacklog quota.
+	ErrQuotaBacklog = errors.New("fleet: tenant backlog quota exceeded")
+)
+
 // ParseShardCols maps the cmd-line "8,8,32,32" syntax to a per-shard
 // column slice for Config.ShardCols. Empty input means nil (homogeneous
 // fleet from Config.Columns).
@@ -105,9 +134,10 @@ func ParseShardCols(s string) ([]int, error) {
 	return cols, nil
 }
 
-// ParseTenants maps the cmd-line "name:shards[:route],..." syntax to a
-// tenant list for Config.Tenants. A tenant with no route inherits
-// fallback (the fleet-wide route flag). Empty input means nil (the
+// ParseTenants maps the cmd-line "name:shards[:route[:maxbacklog[:maxcols]]],..."
+// syntax to a tenant list for Config.Tenants. A tenant with no route (or
+// an empty route field) inherits fallback (the fleet-wide route flag);
+// quota fields default to 0 = unlimited. Empty input means nil (the
 // implicit single tenant).
 func ParseTenants(s string, fallback Route) ([]Tenant, error) {
 	if s == "" {
@@ -116,17 +146,27 @@ func ParseTenants(s string, fallback Route) ([]Tenant, error) {
 	var out []Tenant
 	for _, spec := range strings.Split(s, ",") {
 		fields := strings.Split(spec, ":")
-		if len(fields) < 2 || len(fields) > 3 || fields[0] == "" {
-			return nil, fmt.Errorf("fleet: bad tenant %q (want name:shards[:route])", spec)
+		if len(fields) < 2 || len(fields) > 5 || fields[0] == "" {
+			return nil, fmt.Errorf("fleet: bad tenant %q (want name:shards[:route[:maxbacklog[:maxcols]]])", spec)
 		}
 		n, err := strconv.Atoi(fields[1])
 		if err != nil || n < 1 {
 			return nil, fmt.Errorf("fleet: bad tenant shard count in %q", spec)
 		}
 		t := Tenant{Name: fields[0], Shards: n, Route: fallback}
-		if len(fields) == 3 {
+		if len(fields) >= 3 && fields[2] != "" {
 			if t.Route, err = ParseRoute(fields[2]); err != nil {
 				return nil, err
+			}
+		}
+		if len(fields) >= 4 && fields[3] != "" {
+			if t.MaxBacklog, err = strconv.Atoi(fields[3]); err != nil || t.MaxBacklog < 0 {
+				return nil, fmt.Errorf("fleet: bad tenant backlog quota in %q", spec)
+			}
+		}
+		if len(fields) == 5 && fields[4] != "" {
+			if t.MaxTaskCols, err = strconv.Atoi(fields[4]); err != nil || t.MaxTaskCols < 0 {
+				return nil, fmt.Errorf("fleet: bad tenant max-cols quota in %q", spec)
 			}
 		}
 		out = append(out, t)
@@ -153,6 +193,15 @@ type Tenant struct {
 	// tenant's shards. Config.ShardAdmission (global, per shard) wins
 	// over both.
 	Admission *fpga.AdmissionConfig
+	// MaxBacklog, when > 0, caps the tenant's total waiting backlog
+	// (sum of Waiting over its shards, measured at the batch barrier):
+	// a batch arriving at or above the cap is refused whole with
+	// ErrQuotaBacklog before any routing runs.
+	MaxBacklog int
+	// MaxTaskCols, when > 0, caps the column width of any submitted
+	// task: a batch containing a wider task is refused whole with
+	// ErrQuotaTaskCols before any routing runs.
+	MaxTaskCols int
 }
 
 // Config describes a fleet. Columns and ReconfigDelay describe each
@@ -186,29 +235,71 @@ type Placement struct {
 	Task  fpga.Task
 }
 
-// tenantState is the per-tenant routing state: the shard range and the
-// route-policy cursors, all consumed sequentially in spec order.
-type tenantState struct {
+// Meter is a tenant's cumulative submission accounting. Submitted counts
+// every spec offered to the lane; Refused counts specs bounced by the
+// lane itself (quota or routing) before reaching any shard; Placed counts
+// returned placements and ColTime their summed cols×duration. Specs a
+// shard's admission control skips (shed/reject) are neither Placed nor
+// Refused here — they appear in the shard's own LoadStats/ChurnStats.
+// Meters are a pure function of the tenant's submission sequence, so a
+// recovered lane's meter replays byte-identically.
+type Meter struct {
+	Submitted int
+	Placed    int
+	Refused   int
+	ColTime   float64
+}
+
+// LaneState is the durable image of one tenant lane's mutable routing
+// state — everything SubmitBatchTenant consumes besides shard state:
+// the round-robin cursor, the number of p2c rng draws consumed (the rng
+// is repositioned by replaying that many draws from the lane's seed),
+// and the metering counters. Together with the per-shard canonical
+// snapshots this is sufficient to checkpoint and recover a fleet
+// byte-identically (the service layer's checkpoint format embeds it).
+type LaneState struct {
+	Name     string
+	RR       int
+	RNGDraws uint64
+	Meter    Meter
+}
+
+// lane is one tenant's execution lane: the shard range plus every piece
+// of mutable routing/admission state the tenant's submissions touch.
+// Distinct lanes share nothing mutable, which is what makes per-tenant
+// operations safe to run concurrently for distinct tenants.
+type lane struct {
 	name         string
 	first, count int
 	route        Route
-	rr           int
-	rng          *rand.Rand // p2c only
+	maxBacklog   int
+	maxTaskCols  int
+
+	needScores bool       // route is load-aware (least or p2c)
+	rr         int        // round-robin cursor
+	rng        *rand.Rand // p2c only
+	rngDraws   uint64     // Intn calls consumed, for LaneState replay
+	meter      Meter
+
+	score    []float64         // per-lane-shard drain-time estimate, indexed s-first
+	subs     [][]fpga.TaskSpec // per-lane-shard sub-batch scratch, indexed s-first
+	placedBy [][]fpga.Task     // per-lane-shard placement scratch, indexed s-first
 }
 
-// Fleet is a router over independent scheduler shards. Methods are not
-// safe for concurrent use; the internal worker pool is invisible to
-// callers.
+// Fleet is a router over independent scheduler shards, partitioned into
+// tenant lanes. Methods on the same lane (SubmitBatchTenant, DrainTenant,
+// TenantLoads, LaneState, RestoreLane with equal ti) are not safe for
+// concurrent use with each other; methods on distinct lanes are. All
+// other methods (Drain, Finish, Loads-style iteration over Shard,
+// SnapshotShard, RestoreShard, ...) require exclusive access to the whole
+// fleet. The internal worker pool is invisible to callers.
 type Fleet struct {
-	cfg        Config
-	shards     []*fpga.OnlineScheduler
-	cols       []int                  // resolved per-shard column count
-	adm        []fpga.AdmissionConfig // resolved per-shard admission
-	tenants    []tenantState
-	needScores bool              // any tenant routes load-aware
-	score      []float64         // per-shard drain-time estimate: (barrier col-time + in-batch cols×duration) / cols
-	restored   []int             // per-shard RestoreShard count
-	subs       [][]fpga.TaskSpec // per-shard sub-batch scratch
+	cfg      Config
+	shards   []*fpga.OnlineScheduler
+	cols     []int                  // resolved per-shard column count
+	adm      []fpga.AdmissionConfig // resolved per-shard admission
+	lanes    []lane
+	restored []int // per-shard RestoreShard count
 }
 
 func validRoute(r Route) bool {
@@ -250,9 +341,7 @@ func New(cfg Config) (*Fleet, error) {
 		shards:   make([]*fpga.OnlineScheduler, cfg.Shards),
 		cols:     make([]int, cfg.Shards),
 		adm:      make([]fpga.AdmissionConfig, cfg.Shards),
-		score:    make([]float64, cfg.Shards),
 		restored: make([]int, cfg.Shards),
-		subs:     make([][]fpga.TaskSpec, cfg.Shards),
 	}
 	// Tenant partition: explicit list or the implicit all-shards default.
 	decl := cfg.Tenants
@@ -275,14 +364,24 @@ func New(cfg Config) (*Fleet, error) {
 		if !validRoute(t.Route) {
 			return nil, fmt.Errorf("fleet: tenant %q: unknown route %d", t.Name, int(t.Route))
 		}
-		ts := tenantState{name: t.Name, first: first, count: t.Shards, route: t.Route}
+		if t.MaxBacklog < 0 {
+			return nil, fmt.Errorf("fleet: tenant %q: negative MaxBacklog %d", t.Name, t.MaxBacklog)
+		}
+		if t.MaxTaskCols < 0 {
+			return nil, fmt.Errorf("fleet: tenant %q: negative MaxTaskCols %d", t.Name, t.MaxTaskCols)
+		}
+		ln := lane{
+			name: t.Name, first: first, count: t.Shards, route: t.Route,
+			maxBacklog: t.MaxBacklog, maxTaskCols: t.MaxTaskCols,
+			needScores: t.Route != RouteRR,
+			score:      make([]float64, t.Shards),
+			subs:       make([][]fpga.TaskSpec, t.Shards),
+			placedBy:   make([][]fpga.Task, t.Shards),
+		}
 		if t.Route == RouteP2C {
-			ts.rng = rand.New(rand.NewSource(cfg.Seed + int64(ti)))
+			ln.rng = rand.New(rand.NewSource(cfg.Seed + int64(ti)))
 		}
-		if t.Route != RouteRR {
-			f.needScores = true
-		}
-		f.tenants = append(f.tenants, ts)
+		f.lanes = append(f.lanes, ln)
 		first += t.Shards
 	}
 	if first != cfg.Shards {
@@ -315,12 +414,20 @@ func New(cfg Config) (*Fleet, error) {
 
 // tenantOf returns the index of the tenant owning shard s.
 func (f *Fleet) tenantOf(s int) int {
-	for ti := range f.tenants {
-		if s < f.tenants[ti].first+f.tenants[ti].count {
+	for ti := range f.lanes {
+		if s < f.lanes[ti].first+f.lanes[ti].count {
 			return ti
 		}
 	}
-	return len(f.tenants) - 1
+	return len(f.lanes) - 1
+}
+
+// TenantOf returns the index of the tenant owning shard s.
+func (f *Fleet) TenantOf(s int) (int, error) {
+	if s < 0 || s >= len(f.shards) {
+		return 0, fmt.Errorf("fleet: shard %d out of range [0, %d)", s, len(f.shards))
+	}
+	return f.tenantOf(s), nil
 }
 
 // Shards returns the shard count.
@@ -360,23 +467,92 @@ func (f *Fleet) Config() Config {
 
 // Tenants returns the number of tenant groups (>= 1: a fleet without
 // explicit tenants has the implicit all-shards "default" tenant).
-func (f *Fleet) Tenants() int { return len(f.tenants) }
+func (f *Fleet) Tenants() int { return len(f.lanes) }
 
 // TenantRange returns tenant ti's name and contiguous shard range
 // [first, first+count).
 func (f *Fleet) TenantRange(ti int) (name string, first, count int) {
-	t := &f.tenants[ti]
+	t := &f.lanes[ti]
 	return t.name, t.first, t.count
 }
 
 // TenantByName resolves a tenant name to its index.
 func (f *Fleet) TenantByName(name string) (int, bool) {
-	for ti := range f.tenants {
-		if f.tenants[ti].name == name {
+	for ti := range f.lanes {
+		if f.lanes[ti].name == name {
 			return ti, true
 		}
 	}
 	return 0, false
+}
+
+// Meters returns every tenant's cumulative metering counters, in tenant
+// order (a copy). Requires exclusive access (it reads every lane).
+func (f *Fleet) Meters() []Meter {
+	out := make([]Meter, len(f.lanes))
+	for ti := range f.lanes {
+		out[ti] = f.lanes[ti].meter
+	}
+	return out
+}
+
+// LaneState captures tenant ti's durable routing state — the lane half
+// of a fleet checkpoint (SnapshotShard covers the shard half). Safe to
+// call concurrently with *other* tenants' lane operations.
+func (f *Fleet) LaneState(ti int) (LaneState, error) {
+	if ti < 0 || ti >= len(f.lanes) {
+		return LaneState{}, fmt.Errorf("fleet: tenant %d out of range [0, %d)", ti, len(f.lanes))
+	}
+	t := &f.lanes[ti]
+	return LaneState{Name: t.name, RR: t.rr, RNGDraws: t.rngDraws, Meter: t.meter}, nil
+}
+
+// RestoreLane restores tenant ti's routing state from a LaneState
+// captured on an equally-configured fleet: the cursor and meters are
+// copied and the p2c rng is repositioned by replaying RNGDraws draws
+// from the lane's seed. Every field is validated against the lane's
+// shape first, so a state from a different tenant layout cannot
+// silently change routing. Must be called between the lane's batches.
+func (f *Fleet) RestoreLane(ti int, ls LaneState) error {
+	if ti < 0 || ti >= len(f.lanes) {
+		return fmt.Errorf("fleet: tenant %d out of range [0, %d)", ti, len(f.lanes))
+	}
+	t := &f.lanes[ti]
+	if ls.Name != t.name {
+		return fmt.Errorf("fleet: restore lane %d: state is for tenant %q, lane is %q", ti, ls.Name, t.name)
+	}
+	if t.route == RouteRR {
+		if ls.RR < 0 || ls.RR >= t.count {
+			return fmt.Errorf("fleet: restore lane %d: rr cursor %d out of range [0, %d)", ti, ls.RR, t.count)
+		}
+	} else if ls.RR != 0 {
+		return fmt.Errorf("fleet: restore lane %d: rr cursor %d on non-rr lane", ti, ls.RR)
+	}
+	if t.route != RouteP2C && ls.RNGDraws != 0 {
+		return fmt.Errorf("fleet: restore lane %d: %d rng draws on non-p2c lane", ti, ls.RNGDraws)
+	}
+	m := ls.Meter
+	if m.Submitted < 0 || m.Placed < 0 || m.Refused < 0 || !(m.ColTime >= 0) {
+		return fmt.Errorf("fleet: restore lane %d: negative meter %+v", ti, m)
+	}
+	if m.Placed+m.Refused > m.Submitted {
+		return fmt.Errorf("fleet: restore lane %d: meter places+refuses %d of %d submitted", ti, m.Placed+m.Refused, m.Submitted)
+	}
+	if t.route == RouteP2C {
+		// Reposition by replay: the rng's draw sequence is a pure
+		// function of (seed, draw count), and route() consumes exactly
+		// two draws per spec, so this lands the stream exactly where the
+		// captured lane left it.
+		rng := rand.New(rand.NewSource(f.cfg.Seed + int64(ti)))
+		for i := uint64(0); i < ls.RNGDraws; i++ {
+			rng.Intn(t.count)
+		}
+		t.rng = rng
+	}
+	t.rr = ls.RR
+	t.rngDraws = ls.RNGDraws
+	t.meter = ls.Meter
+	return nil
 }
 
 // Shard exposes one underlying scheduler — for snapshotting, equivalence
@@ -388,7 +564,8 @@ func (f *Fleet) Shard(i int) *fpga.OnlineScheduler { return f.shards[i] }
 // RestoreShard (and any durable store between the two) consumes. The
 // fpga.Snapshot is canonical: equal-behavior shards snapshot
 // byte-identically, which is what makes the failover replay argument in
-// DESIGN.md work.
+// DESIGN.md work. Safe to call concurrently with other tenants' lane
+// operations as long as shard i's own lane is quiescent.
 func (f *Fleet) SnapshotShard(i int) (*fpga.Snapshot, error) {
 	if i < 0 || i >= len(f.shards) {
 		return nil, fmt.Errorf("fleet: shard %d out of range [0, %d)", i, len(f.shards))
@@ -401,10 +578,10 @@ func (f *Fleet) SnapshotShard(i int) (*fpga.Snapshot, error) {
 // in place without stopping the fleet. The snapshot is fully validated
 // (fpga.RestoreScheduler) and must match the slot's geometry and policy
 // configuration, so a snapshot from a different shard shape cannot
-// silently change the fleet. Must be called between batches (fleet
-// methods are not concurrent); the continuation is then byte-identical to
-// the uninterrupted run — routing state lives in the Fleet, and the next
-// batch barrier re-reads the restored shard's (canonical, hence
+// silently change the fleet. Requires exclusive access (it mutates the
+// shard table); the continuation is then byte-identical to the
+// uninterrupted run — routing state lives in the owning lane, and the
+// next batch barrier re-reads the restored shard's (canonical, hence
 // identical) load. RestoredCounts reports per-slot restore totals.
 func (f *Fleet) RestoreShard(i int, s *fpga.Snapshot) error {
 	if i < 0 || i >= len(f.shards) {
@@ -440,18 +617,18 @@ func (f *Fleet) RestoredCounts() []int {
 	return out
 }
 
-// route picks tenant ti's shard for one spec and charges the routing
+// route picks the lane's shard for one spec and charges the routing
 // estimate. Only shards wide enough for the task are eligible; an error
-// means no shard in the tenant's range can ever hold the task.
-func (f *Fleet) route(ti int, sp *fpga.TaskSpec) (int, error) {
-	t := &f.tenants[ti]
+// means no shard in the tenant's range can ever hold the task. All state
+// it touches is lane-owned.
+func (f *Fleet) route(t *lane, sp *fpga.TaskSpec) (int, error) {
 	fits := func(s int) bool { return sp.Cols <= f.cols[s] }
 	// leastIn is the shared load-aware argmin over the tenant's eligible
 	// shards: smallest drain-time score, ties to the lowest shard index.
 	leastIn := func() int {
 		best := -1
 		for s := t.first; s < t.first+t.count; s++ {
-			if fits(s) && (best < 0 || f.score[s] < f.score[best]) {
+			if fits(s) && (best < 0 || t.score[s-t.first] < t.score[best-t.first]) {
 				best = s
 			}
 		}
@@ -475,10 +652,11 @@ func (f *Fleet) route(ti int, sp *fpga.TaskSpec) (int, error) {
 		// sequence is independent of task widths.
 		a := t.first + t.rng.Intn(t.count)
 		b := t.first + t.rng.Intn(t.count)
+		t.rngDraws += 2
 		switch {
 		case fits(a) && fits(b):
 			s = a
-			if f.score[b] < f.score[a] || (f.score[b] == f.score[a] && b < a) {
+			if t.score[b-t.first] < t.score[a-t.first] || (t.score[b-t.first] == t.score[a-t.first] && b < a) {
 				s = b
 			}
 		case fits(a):
@@ -492,7 +670,7 @@ func (f *Fleet) route(ti int, sp *fpga.TaskSpec) (int, error) {
 	if s < 0 {
 		return 0, fmt.Errorf("fleet: task %d needs %d columns, wider than every shard of tenant %q", sp.ID, sp.Cols, t.name)
 	}
-	f.score[s] += float64(sp.Cols) * sp.Duration / float64(f.cols[s])
+	t.score[s-t.first] += float64(sp.Cols) * sp.Duration / float64(f.cols[s])
 	return s, nil
 }
 
@@ -506,72 +684,176 @@ func (f *Fleet) SubmitBatch(specs []fpga.TaskSpec) ([]Placement, error) {
 // (sequentially, in input order), submits each shard's sub-batch through
 // the shard's own SubmitBatch (in parallel across the worker pool), and
 // returns the placements merged in shard-index order, each shard's in its
-// own (release, index) submission order. Submissions refused by a shard's
-// admission control are skipped, exactly as OnlineScheduler.SubmitBatch
-// skips them. A routing error (task wider than every tenant shard) aborts
-// before any shard work runs. A hard error from any shard aborts with the
-// lowest-index shard's error; placements already made on other shards
-// stay, so a fleet that returned a hard error should be discarded.
+// own (release, index) submission order. Quotas are enforced before any
+// routing: a batch over the tenant's MaxTaskCols or MaxBacklog quota is
+// refused whole with a typed error and no shard is touched. Submissions
+// refused by a shard's admission control are skipped, exactly as
+// OnlineScheduler.SubmitBatch skips them. A routing error (task wider
+// than every tenant shard) aborts before any shard work runs. A hard
+// error from any shard aborts with the lowest-index shard's error;
+// placements already made on other shards stay, so a fleet that returned
+// a hard error should be discarded.
+//
+// Distinct tenants may call SubmitBatchTenant concurrently: the batch
+// only touches lane-owned state and the lane's own shards.
 func (f *Fleet) SubmitBatchTenant(ti int, specs []fpga.TaskSpec) ([]Placement, error) {
-	if ti < 0 || ti >= len(f.tenants) {
-		return nil, fmt.Errorf("fleet: tenant %d out of range [0, %d)", ti, len(f.tenants))
+	if ti < 0 || ti >= len(f.lanes) {
+		return nil, fmt.Errorf("fleet: tenant %d out of range [0, %d)", ti, len(f.lanes))
 	}
 	if len(specs) == 0 {
 		return nil, nil
 	}
-	// Barrier refresh: every shard is quiescent here, so its committed
-	// column-time is exact; in-batch routing then works from this base
-	// plus the normalized cols×duration estimates route() accrues.
-	if f.needScores {
-		for i, o := range f.shards {
-			f.score[i] = o.Load().CommittedColTime / float64(f.cols[i])
+	t := &f.lanes[ti]
+	t.meter.Submitted += len(specs)
+	if t.maxTaskCols > 0 {
+		for i := range specs {
+			if specs[i].Cols > t.maxTaskCols {
+				t.meter.Refused += len(specs)
+				return nil, fmt.Errorf("%w: task %d needs %d columns, tenant %q allows %d",
+					ErrQuotaTaskCols, specs[i].ID, specs[i].Cols, t.name, t.maxTaskCols)
+			}
 		}
 	}
-	for i := range f.subs {
-		f.subs[i] = f.subs[i][:0]
+	// Barrier refresh: every lane shard is quiescent here, so its
+	// committed column-time is exact; in-batch routing then works from
+	// this base plus the normalized cols×duration estimates route()
+	// accrues. The same pass sums the waiting backlog for the quota.
+	if t.needScores || t.maxBacklog > 0 {
+		waiting := 0
+		for j := 0; j < t.count; j++ {
+			ld := f.shards[t.first+j].Load()
+			t.score[j] = ld.CommittedColTime / float64(f.cols[t.first+j])
+			waiting += ld.Waiting
+		}
+		if t.maxBacklog > 0 && waiting >= t.maxBacklog {
+			t.meter.Refused += len(specs)
+			return nil, fmt.Errorf("%w: tenant %q has %d waiting, quota %d",
+				ErrQuotaBacklog, t.name, waiting, t.maxBacklog)
+		}
+	}
+	for j := range t.subs {
+		t.subs[j] = t.subs[j][:0]
 	}
 	for i := range specs {
-		s, err := f.route(ti, &specs[i])
+		s, err := f.route(t, &specs[i])
 		if err != nil {
+			t.meter.Refused += len(specs)
 			return nil, err
 		}
-		f.subs[s] = append(f.subs[s], specs[i])
+		t.subs[s-t.first] = append(t.subs[s-t.first], specs[i])
 	}
-	placedBy := make([][]fpga.Task, len(f.shards))
-	err := f.runShards(func(i int) error {
-		if len(f.subs[i]) == 0 {
+	for j := range t.placedBy {
+		t.placedBy[j] = nil
+	}
+	err := f.runLane(t, func(j int) error {
+		if len(t.subs[j]) == 0 {
 			return nil
 		}
-		tasks, err := f.shards[i].SubmitBatch(f.subs[i])
-		placedBy[i] = tasks
+		tasks, err := f.shards[t.first+j].SubmitBatch(t.subs[j])
+		t.placedBy[j] = tasks
 		if err != nil {
-			return fmt.Errorf("fleet: shard %d: %w", i, err)
+			return fmt.Errorf("fleet: shard %d: %w", t.first+j, err)
 		}
 		return nil
 	})
 	var placed []Placement
-	for i, tasks := range placedBy {
-		for _, t := range tasks {
-			placed = append(placed, Placement{Shard: i, Task: t})
+	for j, tasks := range t.placedBy {
+		for _, pt := range tasks {
+			placed = append(placed, Placement{Shard: t.first + j, Task: pt})
+			t.meter.ColTime += float64(pt.Cols) * pt.Duration
 		}
 	}
+	t.meter.Placed += len(placed)
 	return placed, err
 }
 
-// Drain processes every registered completion on every shard.
+// Drain processes every registered completion on every shard. Requires
+// exclusive access; DrainTenant is the lane-scoped counterpart.
 func (f *Fleet) Drain() error {
-	return f.runShards(func(i int) error {
-		if err := f.shards[i].Drain(); err != nil {
-			return fmt.Errorf("fleet: shard %d: %w", i, err)
+	for ti := range f.lanes {
+		if err := f.DrainTenant(ti); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// DrainTenant processes every registered completion on tenant ti's
+// shards. Distinct tenants may drain concurrently.
+func (f *Fleet) DrainTenant(ti int) error {
+	if ti < 0 || ti >= len(f.lanes) {
+		return fmt.Errorf("fleet: tenant %d out of range [0, %d)", ti, len(f.lanes))
+	}
+	t := &f.lanes[ti]
+	return f.runLane(t, func(j int) error {
+		if err := f.shards[t.first+j].Drain(); err != nil {
+			return fmt.Errorf("fleet: shard %d: %w", t.first+j, err)
 		}
 		return nil
 	})
 }
 
+// TenantLoads returns tenant ti's shards' live load accounting, in shard
+// order within the lane. Distinct tenants may read loads concurrently;
+// reading a lane concurrently with its own submissions is the caller's
+// race to avoid (the service layer serializes per lane).
+func (f *Fleet) TenantLoads(ti int) ([]fpga.LoadStats, error) {
+	if ti < 0 || ti >= len(f.lanes) {
+		return nil, fmt.Errorf("fleet: tenant %d out of range [0, %d)", ti, len(f.lanes))
+	}
+	t := &f.lanes[ti]
+	out := make([]fpga.LoadStats, t.count)
+	for j := 0; j < t.count; j++ {
+		out[j] = f.shards[t.first+j].Load()
+	}
+	return out, nil
+}
+
+// runLane runs fn(j) for each of lane t's shards (j is lane-local, shard
+// t.first+j) on up to cfg.Workers goroutines and returns the error of
+// the lowest-index failing shard — the same min-index rule the
+// experiment runner uses, so the surfaced error never depends on
+// goroutine interleaving.
+func (f *Fleet) runLane(t *lane, fn func(j int) error) error {
+	n := t.count
+	workers := f.cfg.Workers
+	if workers > n {
+		workers = n
+	}
+	errs := make([]error, n)
+	if workers <= 1 {
+		for j := 0; j < n; j++ {
+			errs[j] = fn(j)
+		}
+	} else {
+		var wg sync.WaitGroup
+		next := make(chan int)
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for j := range next {
+					errs[j] = fn(j)
+				}
+			}()
+		}
+		for j := 0; j < n; j++ {
+			next <- j
+		}
+		close(next)
+		wg.Wait()
+	}
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // runShards runs fn(i) for every shard on up to cfg.Workers goroutines
-// and returns the error of the lowest-index failing shard — the same
-// min-index rule the experiment runner uses, so the surfaced error never
-// depends on goroutine interleaving.
+// with the same min-index error rule as runLane. Fleet-wide: requires
+// exclusive access.
 func (f *Fleet) runShards(fn func(i int) error) error {
 	n := len(f.shards)
 	workers := f.cfg.Workers
@@ -631,7 +913,7 @@ type Stats struct {
 // Finish drains every shard, re-verifies each shard's schedule through
 // the discrete-event simulator (so a routing or batching bug that
 // double-books a column fails loudly), and aggregates the per-shard
-// stats in shard-index order.
+// stats in shard-index order. Requires exclusive access.
 func (f *Fleet) Finish() (*Stats, error) {
 	if err := f.Drain(); err != nil {
 		return nil, err

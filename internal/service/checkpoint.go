@@ -1,0 +1,240 @@
+package service
+
+// Durable checkpointing: the on-disk image of a whole fleet, written by
+// cmd/placementd periodically and on shutdown, consumed by -recover.
+//
+// A checkpoint is one file in the service wire codec (the same
+// deterministic encoding the protocol uses, so a shard's snapshot bytes
+// on disk are exactly its opSnapData bytes):
+//
+//	payload  = version:uvarint epoch:uvarint seq:uvarint
+//	           shape:info
+//	           nLanes:uvarint laneState*
+//	           nShards:uvarint snapshot*
+//	file     = payload sha256(payload)
+//
+// The manifest half (epoch, shape, lane states with their meters) makes
+// recovery self-validating: -recover refuses a checkpoint whose shape
+// differs from the daemon's configured fleet (ErrCheckpointShape), whose
+// bytes fail the checksum or don't decode exactly (ErrBadCheckpoint), or
+// whose epoch is stale (ErrStaleCheckpoint). Validation happens against
+// a freshly built fleet that is discarded on error, so a refused
+// checkpoint never leaves a partially restored daemon.
+//
+// Checkpoints are written atomically (temp file + rename in the same
+// directory), and only at batch barriers (the server holds every lane
+// while capturing), so a crash at any instant leaves either the old or
+// the new checkpoint — never a torn one — and a recovered fleet resumes
+// byte-identically: canonical snapshots restore shard state, LaneState
+// replays routing cursors/rngs/meters, and `make determinism` pins
+// kill+recover+replay against the uninterrupted run.
+
+import (
+	"crypto/sha256"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"reflect"
+
+	"strippack/internal/fleet"
+	"strippack/internal/fpga"
+)
+
+// checkpointVersion is the on-disk format version.
+const checkpointVersion = 1
+
+// Typed recovery errors: every way a checkpoint can be refused maps to
+// exactly one of these (wrapped with detail), so -recover's caller and
+// the corruption table tests can dispatch on errors.Is.
+var (
+	// ErrBadCheckpoint marks a checkpoint file that is unreadable,
+	// fails its checksum, does not decode exactly, or whose contents
+	// fail semantic validation (snapshot or lane restore).
+	ErrBadCheckpoint = errors.New("service: bad checkpoint")
+	// ErrCheckpointShape marks a structurally valid checkpoint whose
+	// fleet shape differs from the configured fleet.
+	ErrCheckpointShape = errors.New("service: checkpoint shape mismatch")
+	// ErrStaleCheckpoint marks a checkpoint whose epoch is below the
+	// minimum the caller will accept (or zero, which no daemon writes).
+	ErrStaleCheckpoint = errors.New("service: stale checkpoint")
+)
+
+// Checkpoint is the in-memory image of a checkpoint file: the run
+// manifest (epoch, write sequence, fleet shape, per-tenant lane states
+// with their cumulative meters) plus every shard's canonical snapshot.
+type Checkpoint struct {
+	Epoch uint64
+	Seq   uint64
+	Shape *Info
+	Lanes []fleet.LaneState
+	Snaps []*fpga.Snapshot
+}
+
+// CaptureCheckpoint snapshots a quiescent fleet into a Checkpoint.
+// Requires exclusive access to the fleet (the server's Checkpoint method
+// holds every lane while calling this).
+func CaptureCheckpoint(f *fleet.Fleet, epoch, seq uint64) (*Checkpoint, error) {
+	in, err := (Local{Fleet: f}).Info()
+	if err != nil {
+		return nil, err
+	}
+	ck := &Checkpoint{Epoch: epoch, Seq: seq, Shape: in.Shape()}
+	ck.Lanes = make([]fleet.LaneState, f.Tenants())
+	for ti := range ck.Lanes {
+		if ck.Lanes[ti], err = f.LaneState(ti); err != nil {
+			return nil, err
+		}
+	}
+	ck.Snaps = make([]*fpga.Snapshot, f.Shards())
+	for i := range ck.Snaps {
+		if ck.Snaps[i], err = f.SnapshotShard(i); err != nil {
+			return nil, err
+		}
+	}
+	return ck, nil
+}
+
+// EncodeCheckpoint returns the checkpoint file bytes: the codec payload
+// followed by its sha256.
+func EncodeCheckpoint(ck *Checkpoint) []byte {
+	var e enc
+	e.uint(checkpointVersion)
+	e.uint(ck.Epoch)
+	e.uint(ck.Seq)
+	e.info(ck.Shape)
+	e.count(len(ck.Lanes))
+	for i := range ck.Lanes {
+		e.laneState(&ck.Lanes[i])
+	}
+	e.count(len(ck.Snaps))
+	for _, s := range ck.Snaps {
+		e.snapshot(s)
+	}
+	sum := sha256.Sum256(e.b)
+	return append(e.b, sum[:]...)
+}
+
+// DecodeCheckpoint decodes EncodeCheckpoint's output, verifying the
+// checksum and exact consumption. Structural only; Recover adds the
+// semantic validation.
+func DecodeCheckpoint(b []byte) (*Checkpoint, error) {
+	if len(b) < sha256.Size {
+		return nil, fmt.Errorf("%w: %d bytes is shorter than the checksum", ErrBadCheckpoint, len(b))
+	}
+	payload, trailer := b[:len(b)-sha256.Size], b[len(b)-sha256.Size:]
+	if sum := sha256.Sum256(payload); [sha256.Size]byte(trailer) != sum {
+		return nil, fmt.Errorf("%w: checksum mismatch", ErrBadCheckpoint)
+	}
+	d := &dec{b: payload}
+	if v := d.uint(); d.err == nil && v != checkpointVersion {
+		return nil, fmt.Errorf("%w: version %d, want %d", ErrBadCheckpoint, v, checkpointVersion)
+	}
+	ck := &Checkpoint{}
+	ck.Epoch = d.uint()
+	ck.Seq = d.uint()
+	ck.Shape = d.info()
+	n := d.count(4)
+	if n > 0 {
+		ck.Lanes = make([]fleet.LaneState, n)
+		for i := range ck.Lanes {
+			ck.Lanes[i] = d.laneState()
+		}
+	}
+	n = d.count(8)
+	if n > 0 {
+		ck.Snaps = make([]*fpga.Snapshot, n)
+		for i := range ck.Snaps {
+			ck.Snaps[i] = d.snapshot()
+		}
+	}
+	if err := d.done(); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadCheckpoint, err)
+	}
+	return ck, nil
+}
+
+// WriteCheckpoint atomically writes the checkpoint file: encode to a
+// temp file in the target directory, fsync-free rename over the final
+// path. A crash mid-write leaves the previous checkpoint intact.
+func WriteCheckpoint(path string, ck *Checkpoint) error {
+	b := EncodeCheckpoint(ck)
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, ".ckpt-*")
+	if err != nil {
+		return err
+	}
+	if _, err := tmp.Write(b); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	return nil
+}
+
+// ReadCheckpoint reads and structurally decodes a checkpoint file.
+func ReadCheckpoint(path string) (*Checkpoint, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadCheckpoint, err)
+	}
+	return DecodeCheckpoint(b)
+}
+
+// Recover reads the checkpoint at path, validates it against cfg, and
+// returns a freshly built fleet with every shard and lane restored —
+// the daemon's -recover path. minEpoch rejects checkpoints older than
+// the caller will accept (pass 1 to accept any daemon-written one;
+// epoch 0 is always stale — no daemon runs at epoch 0).
+//
+// All-or-nothing: every restore happens on the fresh fleet, which is
+// only returned after the last one succeeds, so a refused checkpoint
+// (any typed error above) cannot leave partial state anywhere.
+func Recover(path string, cfg fleet.Config, minEpoch uint64) (*fleet.Fleet, *Checkpoint, error) {
+	ck, err := ReadCheckpoint(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	if minEpoch < 1 {
+		minEpoch = 1
+	}
+	if ck.Epoch < minEpoch {
+		return nil, nil, fmt.Errorf("%w: epoch %d, want >= %d", ErrStaleCheckpoint, ck.Epoch, minEpoch)
+	}
+	f, err := fleet.New(cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	want, err := (Local{Fleet: f}).Info()
+	if err != nil {
+		return nil, nil, err
+	}
+	if !reflect.DeepEqual(ck.Shape, want.Shape()) {
+		return nil, nil, fmt.Errorf("%w: checkpoint %+v, configured %+v", ErrCheckpointShape, ck.Shape, want.Shape())
+	}
+	if len(ck.Snaps) != f.Shards() {
+		return nil, nil, fmt.Errorf("%w: %d snapshots for %d shards", ErrBadCheckpoint, len(ck.Snaps), f.Shards())
+	}
+	if len(ck.Lanes) != f.Tenants() {
+		return nil, nil, fmt.Errorf("%w: %d lane states for %d tenants", ErrBadCheckpoint, len(ck.Lanes), f.Tenants())
+	}
+	for i, s := range ck.Snaps {
+		if err := f.RestoreShard(i, s); err != nil {
+			return nil, nil, fmt.Errorf("%w: %v", ErrBadCheckpoint, err)
+		}
+	}
+	for ti, ls := range ck.Lanes {
+		if err := f.RestoreLane(ti, ls); err != nil {
+			return nil, nil, fmt.Errorf("%w: %v", ErrBadCheckpoint, err)
+		}
+	}
+	return f, ck, nil
+}

@@ -28,14 +28,16 @@ import (
 // Request and response opcodes. Every request gets exactly one response:
 // the op-specific success payload or opErr carrying a message.
 const (
-	opHello    byte = 1 // -> opInfo
-	opSubmit   byte = 2 // tenant + specs -> opPlacements
-	opDrain    byte = 3 // -> opOK
-	opLoad     byte = 4 // -> opLoads (per-shard LoadStats)
-	opSnapshot byte = 5 // shard -> opSnapData
-	opRestore  byte = 6 // shard + snapshot -> opOK
-	opFinish   byte = 7 // -> opStats
-	opRestored byte = 8 // -> opCounts (per-shard restore totals)
+	opHello      byte = 1  // -> opInfo
+	opSubmit     byte = 2  // tenant + specs -> opPlacements
+	opDrain      byte = 3  // -> opOK
+	opLoad       byte = 4  // -> opLoads (per-shard LoadStats)
+	opSnapshot   byte = 5  // shard -> opSnapData
+	opRestore    byte = 6  // shard + snapshot -> opOK
+	opFinish     byte = 7  // -> opStats
+	opRestored   byte = 8  // -> opCounts (per-shard restore totals)
+	opEpoch      byte = 9  // -> opEpochVal (the server's run epoch)
+	opCheckpoint byte = 10 // -> opCkptOK (force a durable checkpoint now)
 
 	opOK         byte = 64
 	opErr        byte = 65
@@ -45,6 +47,8 @@ const (
 	opSnapData   byte = 69
 	opStats      byte = 70
 	opCounts     byte = 71
+	opEpochVal   byte = 72 // epoch:uvarint
+	opCkptOK     byte = 73 // epoch:uvarint seq:uvarint
 )
 
 // maxFrame bounds a frame payload (1 GiB): large enough for a snapshot
@@ -377,6 +381,12 @@ func (d *dec) snapshot() *fpga.Snapshot {
 	s.Shed = d.bools()
 	s.Started = d.bools()
 	s.Actual = d.f64s()
+	if s.Actual == nil {
+		// Snapshot() always materializes Actual (even for an idle shard),
+		// so the round trip must too, or idle-shard snapshots fetched over
+		// the wire would not be byte-identical to direct ones.
+		s.Actual = []float64{}
+	}
 	s.Horizon = d.f64s()
 	s.FixedEnd = d.f64s()
 	s.Slack = d.ints()
@@ -504,17 +514,54 @@ func (d *dec) stats() *fleet.Stats {
 	return s
 }
 
+func (e *enc) meter(m *fleet.Meter) {
+	e.int(m.Submitted)
+	e.int(m.Placed)
+	e.int(m.Refused)
+	e.f64(m.ColTime)
+}
+
+func (d *dec) meter() (m fleet.Meter) {
+	m.Submitted = d.int()
+	m.Placed = d.int()
+	m.Refused = d.int()
+	m.ColTime = d.f64()
+	return m
+}
+
+func (e *enc) laneState(ls *fleet.LaneState) {
+	e.str(ls.Name)
+	e.int(ls.RR)
+	e.uint(ls.RNGDraws)
+	e.meter(&ls.Meter)
+}
+
+func (d *dec) laneState() (ls fleet.LaneState) {
+	ls.Name = d.str()
+	ls.RR = d.int()
+	ls.RNGDraws = d.uint()
+	ls.Meter = d.meter()
+	return ls
+}
+
 // TenantInfo describes one tenant endpoint of a placement service.
 type TenantInfo struct {
 	Name         string
 	First, Count int // contiguous shard range [First, First+Count)
 	Route        fleet.Route
+	// MaxBacklog and MaxTaskCols mirror the tenant's quota fields
+	// (0 = unlimited).
+	MaxBacklog, MaxTaskCols int
 }
 
 // Info is the service handshake: the fleet shape a client needs to
 // verify it is talking to the daemon it expects (everything that affects
 // results except Workers, which is execution-only by the fleet's
-// determinism contract) and to resolve tenant endpoints by name.
+// determinism contract), the tenant endpoints resolved by name, plus two
+// run-scoped fields — the daemon's Epoch (incremented on every restart;
+// 0 for an in-process Local) and the per-tenant metering counters.
+// Compare Shapes, not Infos, to decide whether two services are
+// interchangeable.
 type Info struct {
 	Shards        int
 	Cols          []int // resolved per-shard column counts
@@ -523,7 +570,24 @@ type Info struct {
 	Admission     fpga.AdmissionConfig
 	Route         fleet.Route
 	Seed          int64
+	Epoch         uint64
 	Tenants       []TenantInfo
+	Meters        []fleet.Meter // per-tenant cumulative counters, tenant order
+}
+
+// Shape returns the restart-invariant part of the Info: everything that
+// identifies the fleet's configured shape, with the run-scoped Epoch and
+// Meters cleared and the slices copied. Clients compare Shapes across
+// reconnects (the daemon may have restarted into a new epoch with
+// different meters but must present the same shape), and the checkpoint
+// manifest stores a Shape for -recover validation.
+func (in *Info) Shape() *Info {
+	out := *in
+	out.Epoch = 0
+	out.Meters = nil
+	out.Cols = append([]int(nil), in.Cols...)
+	out.Tenants = append([]TenantInfo(nil), in.Tenants...)
+	return &out
 }
 
 func (e *enc) info(in *Info) {
@@ -534,6 +598,7 @@ func (e *enc) info(in *Info) {
 	e.admission(in.Admission)
 	e.int(int(in.Route))
 	e.i64(in.Seed)
+	e.uint(in.Epoch)
 	e.count(len(in.Tenants))
 	for i := range in.Tenants {
 		t := &in.Tenants[i]
@@ -541,6 +606,12 @@ func (e *enc) info(in *Info) {
 		e.int(t.First)
 		e.int(t.Count)
 		e.int(int(t.Route))
+		e.int(t.MaxBacklog)
+		e.int(t.MaxTaskCols)
+	}
+	e.count(len(in.Meters))
+	for i := range in.Meters {
+		e.meter(&in.Meters[i])
 	}
 }
 
@@ -553,7 +624,8 @@ func (d *dec) info() *Info {
 	in.Admission = d.admission()
 	in.Route = fleet.Route(d.int())
 	in.Seed = d.i64()
-	n := d.count(4)
+	in.Epoch = d.uint()
+	n := d.count(6)
 	if n > 0 {
 		in.Tenants = make([]TenantInfo, n)
 		for i := range in.Tenants {
@@ -562,6 +634,15 @@ func (d *dec) info() *Info {
 			t.First = d.int()
 			t.Count = d.int()
 			t.Route = fleet.Route(d.int())
+			t.MaxBacklog = d.int()
+			t.MaxTaskCols = d.int()
+		}
+	}
+	n = d.count(11)
+	if n > 0 {
+		in.Meters = make([]fleet.Meter, n)
+		for i := range in.Meters {
+			in.Meters[i] = d.meter()
 		}
 	}
 	return in

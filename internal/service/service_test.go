@@ -201,6 +201,7 @@ func TestServiceInfoAndLoads(t *testing.T) {
 			{Name: "alpha", First: 0, Count: 2, Route: fleet.RouteLeast},
 			{Name: "beta", First: 2, Count: 1, Route: fleet.RouteRR},
 		},
+		Meters: []fleet.Meter{{}, {}},
 	}
 	if !reflect.DeepEqual(info, want) {
 		t.Fatalf("Info() = %+v, want %+v", info, want)
